@@ -1,0 +1,56 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each ``test_*`` module regenerates one table/figure of the paper:
+running ``pytest benchmarks/ --benchmark-only -s`` prints every
+reproduced table and writes it under ``benchmarks/results/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` — trace-length multiplier (default 0.5;
+  1.0 ≈ 60k dynamic instructions per benchmark, the scale EXPERIMENTS.md
+  records).
+- ``REPRO_BENCH_SUITE`` — comma-separated benchmark subset (default:
+  all 17).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_suite():
+    names = os.environ.get("REPRO_BENCH_SUITE", "")
+    if not names:
+        return list(BENCHMARK_NAMES)
+    return [n.strip() for n in names.split(",") if n.strip()]
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return bench_suite()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, text):
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

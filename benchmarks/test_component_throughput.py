@@ -1,0 +1,91 @@
+"""Component micro-benchmarks (not paper figures).
+
+Timing-simulator, emulator, profiler and selector throughput — useful
+for tracking performance regressions of the toolchain itself.  These
+use pytest-benchmark's normal multi-round timing (they are cheap).
+"""
+
+import pytest
+
+from repro.core import SelectionConfig, select_diverge_branches
+from repro.emulator import execute
+from repro.profiling import Profiler
+from repro.uarch import TimingSimulator
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    workload = load_benchmark("crafty", scale=0.2)
+    trace, _ = execute(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    return workload, trace, profile
+
+
+def test_emulator_throughput(benchmark, artifacts):
+    workload, trace, _ = artifacts
+    result = benchmark.pedantic(
+        lambda: execute(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+            collect_trace=False,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_profiler_throughput(benchmark, artifacts):
+    workload, _, _ = artifacts
+    benchmark.pedantic(
+        lambda: Profiler().profile(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_baseline_simulator_throughput(benchmark, artifacts):
+    workload, trace, _ = artifacts
+    benchmark.pedantic(
+        lambda: TimingSimulator(workload.program).run(trace),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_dmp_simulator_throughput(benchmark, artifacts):
+    workload, trace, profile = artifacts
+    annotation = select_diverge_branches(
+        workload.program, profile, SelectionConfig.all_best_heur()
+    )
+    benchmark.pedantic(
+        lambda: TimingSimulator(
+            workload.program, annotation=annotation
+        ).run(trace),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_selector_throughput(benchmark, artifacts):
+    workload, _, profile = artifacts
+    benchmark.pedantic(
+        lambda: select_diverge_branches(
+            workload.program, profile, SelectionConfig.all_best_cost()
+        ),
+        rounds=3,
+        iterations=1,
+    )

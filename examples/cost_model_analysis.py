@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Explore the §4/§5.1 analytical cost-benefit model.
+
+Plots (as text) how the dynamic-predication cost of a hammock varies
+with its size, merge probability, and the confidence estimator's
+accuracy — the trade-offs behind Equations (1)-(20) — and evaluates
+the loop model's four outcome cases.
+
+Run:  python examples/cost_model_analysis.py
+"""
+
+from repro.core.cost_model import (
+    CostModelParams,
+    LoopCaseProbabilities,
+    dpred_cost,
+    loop_dpred_cost,
+)
+
+
+def bar(value, scale=2.0, width=30):
+    clipped = max(-width, min(width, int(value * scale)))
+    if clipped >= 0:
+        return " " * width + "|" + "#" * clipped
+    return " " * (width + clipped) + "#" * (-clipped) + "|"
+
+
+def hammock_sweep():
+    print("== hammock dpred_cost vs useless instructions ==")
+    print("   (negative = profitable to predicate; Acc_Conf = 40%)")
+    params = CostModelParams()
+    for useless in (4, 8, 16, 32, 48, 64, 80, 96, 128, 160):
+        overhead = useless / params.fetch_width
+        cost = dpred_cost(overhead, params)
+        print(f"  useless={useless:4d}  cost={cost:+7.2f} {bar(cost)}")
+    breakeven = params.misp_penalty * params.acc_conf * params.fetch_width
+    print(f"  break-even useless instructions: {breakeven:.0f}")
+
+
+def merge_prob_sweep():
+    print("\n== frequently-hammock cost vs merge probability ==")
+    print("   (16 useless insts when merging; dual-path when not)")
+    params = CostModelParams()
+    for merge in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+        overhead = merge * (16 / params.fetch_width) + (1 - merge) * (
+            params.resolution / 2
+        )
+        cost = dpred_cost(overhead, params)
+        print(f"  P(merge)={merge:4.2f}  cost={cost:+7.2f} {bar(cost)}")
+
+
+def acc_conf_sweep():
+    print("\n== sensitivity to confidence-estimator accuracy (PVN) ==")
+    print("   (the paper reports the model is stable over 20%-50%)")
+    for acc in (0.15, 0.20, 0.30, 0.40, 0.50):
+        params = CostModelParams(acc_conf=acc)
+        cost = dpred_cost(16 / 8, params)
+        print(f"  Acc_Conf={acc:4.2f}  cost={cost:+7.2f} {bar(cost)}")
+
+
+def loop_cases():
+    print("\n== diverge-loop model: who pays, who benefits ==")
+    params = CostModelParams()
+    scenarios = [
+        ("mostly late exits (good loop)",
+         LoopCaseProbabilities(correct=0.45, early_exit=0.05,
+                               late_exit=0.45, no_exit=0.05)),
+        ("balanced",
+         LoopCaseProbabilities(correct=0.55, early_exit=0.15,
+                               late_exit=0.20, no_exit=0.10)),
+        ("high-iteration loop (mostly no-exit)",
+         LoopCaseProbabilities(correct=0.50, early_exit=0.05,
+                               late_exit=0.05, no_exit=0.40)),
+    ]
+    for label, probs in scenarios:
+        cost = loop_dpred_cost(
+            loop_body_size=12,
+            n_select_uops=3,
+            dpred_iter=4,
+            dpred_extra_iter=2,
+            case_probs=probs,
+            params=params,
+        )
+        print(f"  {label:40s} cost={cost:+7.2f} {bar(cost)}")
+    print(
+        "\n  -> exactly the §5.2 heuristics: small bodies, few "
+        "iterations,\n     and low no-exit probability make loops "
+        "worth predicating."
+    )
+
+
+def main():
+    hammock_sweep()
+    merge_prob_sweep()
+    acc_conf_sweep()
+    loop_cases()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reproduce the §7.3 input-set sensitivity study on a few benchmarks.
+
+Profiles each benchmark on its *train* input set, runs it on the
+*reduced* one (the paper's methodology for "diff"), and compares both
+the performance and the selected diverge-branch sets against
+profiling on the run input itself ("same").
+
+Run:  python examples/input_set_sensitivity.py [scale]
+"""
+
+import sys
+
+from repro.core import DivergeSelector, SelectionConfig
+from repro.experiments.runner import get_artifacts, run_annotated, run_baseline
+
+BENCHMARKS = ("gap", "mcf", "crafty", "gzip", "twolf")
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    config = SelectionConfig.all_best_heur()
+
+    print(f"{'benchmark':10s} {'same':>8s} {'diff':>8s} "
+          f"{'overlap':>8s}  selection delta")
+    for name in BENCHMARKS:
+        run_art = get_artifacts(name, "reduced", scale)
+        train_art = get_artifacts(name, "train", scale)
+        baseline = run_baseline(name, scale=scale)
+
+        ann_same = DivergeSelector(
+            run_art.program, run_art.profile, config
+        ).select()
+        ann_diff = DivergeSelector(
+            run_art.program, train_art.profile, config
+        ).select()
+
+        stats_same = run_annotated(name, ann_same, scale=scale)
+        stats_diff = run_annotated(name, ann_diff, scale=scale)
+
+        pcs_same = {b.branch_pc for b in ann_same}
+        pcs_diff = {b.branch_pc for b in ann_diff}
+        union = pcs_same | pcs_diff
+        overlap = len(pcs_same & pcs_diff) / len(union) if union else 1.0
+        only_same = sorted(pcs_same - pcs_diff)
+        only_diff = sorted(pcs_diff - pcs_same)
+        delta = (
+            f"only-run={only_same} only-train={only_diff}"
+            if only_same or only_diff
+            else "(identical)"
+        )
+        print(
+            f"{name:10s} "
+            f"{stats_same.speedup_over(baseline) * 100:+7.1f}% "
+            f"{stats_diff.speedup_over(baseline) * 100:+7.1f}% "
+            f"{overlap * 100:7.1f}%  {delta}"
+        )
+
+    print(
+        "\nThe run-time confidence gate makes DMP robust to the "
+        "profiling input:\neven where the selected sets differ, only "
+        "low-confidence instances are\npredicated, so performance "
+        "barely moves (paper: 0.5% average loss)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: profile a benchmark, select diverge branches, simulate DMP.
+
+This walks the full pipeline of the paper on one benchmark:
+
+1. load a synthetic SPEC-like workload;
+2. run it functionally to get the dynamic trace;
+3. profile it (edge/branch/loop profiles with a predictor in the loop);
+4. run the profile-driven compiler (All-best-heur) to mark diverge
+   branches and CFM points;
+5. simulate the baseline processor and the DMP processor;
+6. report the speedup.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.core import SelectionConfig, select_diverge_branches
+from repro.emulator import execute
+from repro.profiling import Profiler
+from repro.uarch import simulate
+from repro.workloads import BENCHMARK_NAMES, load_benchmark
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+
+    print(f"== loading {name} (scale {scale}) ==")
+    workload = load_benchmark(name, scale=scale)
+    print(f"static instructions: {len(workload.program)}")
+
+    print("== functional execution ==")
+    trace, result = execute(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    print(f"dynamic instructions: {result.instruction_count:,}")
+
+    print("== profiling ==")
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    print(
+        f"branches: {profile.total_branches:,}  "
+        f"MPKI: {profile.mpki:.2f}  "
+        f"measured Acc_Conf: {profile.measured_acc_conf:.2f}"
+    )
+
+    print("== diverge-branch selection (All-best-heur) ==")
+    annotation = select_diverge_branches(
+        workload.program, profile, SelectionConfig.all_best_heur()
+    )
+    summary = annotation.summary()
+    print(
+        f"diverge branches: {summary['total']}  "
+        f"by kind: {summary['by_kind']}  "
+        f"avg CFM points: {summary['avg_cfm_points']:.2f}"
+    )
+    for branch in annotation:
+        cfms = [p.pc if p.pc is not None else "ret" for p in branch.cfm_points]
+        flags = " always" if branch.always_predicate else ""
+        print(
+            f"  pc {branch.branch_pc:5d}  {branch.kind.value:10s} "
+            f"CFM {cfms}{flags}"
+        )
+
+    print("== timing simulation ==")
+    baseline = simulate(workload.program, trace, label=f"{name}/baseline")
+    dmp = simulate(
+        workload.program, trace, annotation=annotation, label=f"{name}/dmp"
+    )
+    print(baseline.report())
+    print(dmp.report())
+    print(
+        f"\nDMP speedup over baseline: "
+        f"{dmp.speedup_over(baseline) * 100:+.1f}%  "
+        f"(flushes {baseline.pipeline_flushes} -> {dmp.pipeline_flushes})"
+    )
+
+
+if __name__ == "__main__":
+    main()

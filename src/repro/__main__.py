@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro <artifact> [options]``.
+
+Regenerates the paper's tables and figures from the command line::
+
+    python -m repro table1
+    python -m repro fig5 --scale 0.5 --benchmarks gzip,twolf
+    python -m repro all --scale 1.0
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    priorwork,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+)
+
+ARTIFACTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "priorwork": priorwork,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate tables/figures of 'Profile-assisted Compiler "
+            "Support for Dynamic Predication in Diverge-Merge "
+            "Processors' (CGO 2007)."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "ablations", "coverage"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-length multiplier (1.0 ≈ 60k insts per benchmark)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated benchmark subset (default: all 17)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render speedup figures as ASCII bar charts",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        or None
+    )
+
+    if args.artifact == "coverage":
+        from repro.experiments import coverage
+
+        for name in benchmarks or ["gcc"]:
+            print(coverage.format_result(
+                coverage.run(name, scale=args.scale)))
+            print()
+        return 0
+
+    if args.artifact == "ablations":
+        for run in (
+            ablations.run_acc_conf,
+            ablations.run_max_cfm,
+            ablations.run_confidence_threshold,
+            ablations.run_easy_branch_filter,
+            ablations.run_predictor_sensitivity,
+            ablations.run_per_app_acc_conf,
+        ):
+            result = run(scale=args.scale, benchmarks=benchmarks)
+            print(ablations.format_result(result))
+            print()
+        return 0
+
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        module = ARTIFACTS[name]
+        if name == "table1":
+            result = module.run()
+        else:
+            result = module.run(scale=args.scale, benchmarks=benchmarks)
+        print(module.format_result(result))
+        if args.chart and "means" in result and "series" in result:
+            from repro.experiments.charts import (
+                chart_flush_result,
+                chart_speedup_result,
+            )
+            chart = (
+                chart_flush_result(result, name)
+                if name == "fig6"
+                else chart_speedup_result(result, name)
+            )
+            print()
+            print(chart)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

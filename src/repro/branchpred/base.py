@@ -1,0 +1,63 @@
+"""Common branch predictor interface."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PredictorStats:
+    """Prediction accuracy bookkeeping."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    def record(self, correct):
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+    @property
+    def accuracy(self):
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    @property
+    def misprediction_rate(self):
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Interface all conditional-branch direction predictors implement.
+
+    The contract (matching how the timing simulator drives it):
+
+    1. ``predict(pc)`` returns the predicted direction *without* any
+       state change.
+    2. ``update(pc, taken)`` commits the true outcome, updating both the
+       pattern tables and the global history.
+
+    Predictors update history non-speculatively (at update time).  This
+    is the standard trace-driven approximation; the paper's simulator
+    checkpoints history speculatively, which only matters under deep
+    nests of unresolved branches.
+    """
+
+    name = "base"
+
+    def predict(self, pc):
+        raise NotImplementedError
+
+    def update(self, pc, taken):
+        raise NotImplementedError
+
+    def predict_and_update(self, pc, taken):
+        """Predict, commit the outcome, and return the prediction."""
+        predicted = self.predict(pc)
+        self.update(pc, taken)
+        return predicted
+
+    def reset(self):
+        """Restore power-on state."""
+        raise NotImplementedError

@@ -1,0 +1,37 @@
+"""Bimodal (per-pc 2-bit counter) predictor."""
+
+from repro.branchpred.base import BranchPredictor
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of 2-bit saturating counters indexed by pc.
+
+    The weakest predictor in the package; used in tests and as the
+    wrong-path bias fallback.  Counters start weakly taken (2), the
+    common convention.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, table_size=4096):
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        self.table_size = table_size
+        self.reset()
+
+    def reset(self):
+        self._counters = [2] * self.table_size
+
+    def _index(self, pc):
+        return pc % self.table_size
+
+    def predict(self, pc):
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)

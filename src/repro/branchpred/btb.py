@@ -1,0 +1,39 @@
+"""Branch target buffer."""
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB (Table 1: 4K entries).
+
+    Our ISA has only direct branches, so the BTB can only miss cold or
+    on aliasing — a miss means the front end discovers the target at
+    decode and pays a small bubble, which the timing model charges.
+    """
+
+    def __init__(self, num_entries=4096, miss_bubble_cycles=2):
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self.miss_bubble_cycles = miss_bubble_cycles
+        self.hits = 0
+        self.misses = 0
+        self.reset()
+
+    def reset(self):
+        self._tags = [None] * self.num_entries
+        self._targets = [None] * self.num_entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc):
+        """Predicted target of the control instruction at ``pc`` or None."""
+        index = pc % self.num_entries
+        if self._tags[index] == pc:
+            self.hits += 1
+            return self._targets[index]
+        self.misses += 1
+        return None
+
+    def insert(self, pc, target):
+        index = pc % self.num_entries
+        self._tags[index] = pc
+        self._targets[index] = target

@@ -1,0 +1,69 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA-7).
+
+The paper's Table 1 baseline: 16KB budget, 64-bit global history,
+256 perceptrons.  Each perceptron holds a bias weight plus one weight
+per history bit; the prediction is the sign of the dot product of the
+weights with the ±1-encoded history.  Training (on a misprediction or
+when the output magnitude is at most the threshold θ) nudges each
+weight toward agreement with the outcome.  θ follows the authors'
+empirical formula ``θ = ⌊1.93·h + 14⌋``.
+
+Weights are kept in a numpy ``int32`` matrix — the 64-element dot
+product per prediction dominates simulator time otherwise.
+"""
+
+import numpy as np
+
+from repro.branchpred.base import BranchPredictor
+
+#: 8-bit signed weight clamp, as in the hardware proposal.
+WEIGHT_MIN = -128
+WEIGHT_MAX = 127
+
+
+class PerceptronPredictor(BranchPredictor):
+    """The Table 1 perceptron predictor."""
+
+    name = "perceptron"
+
+    def __init__(self, num_perceptrons=256, history_bits=64):
+        if num_perceptrons <= 0 or history_bits <= 0:
+            raise ValueError("bad perceptron geometry")
+        self.num_perceptrons = num_perceptrons
+        self.history_bits = history_bits
+        self.threshold = int(1.93 * history_bits + 14)
+        self.reset()
+
+    def reset(self):
+        # Column 0 is the bias weight; columns 1..h pair with history.
+        self._weights = np.zeros(
+            (self.num_perceptrons, self.history_bits + 1), dtype=np.int32
+        )
+        # History as ±1 values, most recent at index 0.
+        self._history = np.ones(self.history_bits, dtype=np.int32)
+        self._bias_input = np.int32(1)
+
+    def _index(self, pc):
+        return pc % self.num_perceptrons
+
+    def _output(self, pc):
+        row = self._weights[self._index(pc)]
+        return int(row[0]) + int(row[1:] @ self._history)
+
+    def predict(self, pc):
+        return self._output(pc) >= 0
+
+    def update(self, pc, taken):
+        index = self._index(pc)
+        output = self._output(pc)
+        predicted = output >= 0
+        target = 1 if taken else -1
+        if predicted != taken or abs(output) <= self.threshold:
+            row = self._weights[index]
+            row[0] = min(WEIGHT_MAX, max(WEIGHT_MIN, int(row[0]) + target))
+            adjusted = row[1:] + target * self._history
+            np.clip(adjusted, WEIGHT_MIN, WEIGHT_MAX, out=adjusted)
+            row[1:] = adjusted
+        # Shift the new outcome into the history (most recent first).
+        self._history[1:] = self._history[:-1]
+        self._history[0] = target

@@ -1,0 +1,53 @@
+"""Return address stack predictor."""
+
+
+class ReturnAddressStack:
+    """Circular return-address stack (Table 1: 64 entries).
+
+    Predicts ``RET`` targets.  Overflow silently wraps (overwriting the
+    oldest entry), so sufficiently deep recursion causes return
+    mispredictions — exactly the hardware behaviour.
+    """
+
+    def __init__(self, depth=64):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self.overflows = 0
+        self.mispredictions = 0
+        self.predictions = 0
+        self.reset()
+
+    def reset(self):
+        self._stack = [None] * self.depth
+        self._top = 0       # index of next free slot
+        self._valid = 0     # how many live entries (≤ depth)
+        self.overflows = 0
+        self.mispredictions = 0
+        self.predictions = 0
+
+    def push(self, return_pc):
+        if self._valid == self.depth:
+            self.overflows += 1
+        else:
+            self._valid += 1
+        self._stack[self._top] = return_pc
+        self._top = (self._top + 1) % self.depth
+
+    def pop_predict(self, actual_target):
+        """Pop a prediction and record whether it matched ``actual_target``.
+
+        Returns True when the prediction was correct.  An empty stack
+        predicts nothing and counts as a misprediction.
+        """
+        self.predictions += 1
+        if self._valid == 0:
+            self.mispredictions += 1
+            return False
+        self._top = (self._top - 1) % self.depth
+        self._valid -= 1
+        predicted = self._stack[self._top]
+        correct = predicted == actual_target
+        if not correct:
+            self.mispredictions += 1
+        return correct

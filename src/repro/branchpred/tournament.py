@@ -1,0 +1,55 @@
+"""Tournament (combining) predictor: bimodal + gshare + chooser.
+
+Alpha-21264-style: a per-pc chooser of 2-bit counters selects between a
+local (bimodal) and a global (gshare) component.  Used by the
+predictor-sensitivity ablation; the paper's baseline remains the
+perceptron.
+"""
+
+from repro.branchpred.base import BranchPredictor
+from repro.branchpred.bimodal import BimodalPredictor
+from repro.branchpred.gshare import GsharePredictor
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser-based hybrid of bimodal and gshare."""
+
+    name = "tournament"
+
+    def __init__(self, chooser_size=4096, table_bits=13, history_bits=12):
+        if chooser_size <= 0:
+            raise ValueError("chooser_size must be positive")
+        self.chooser_size = chooser_size
+        self._bimodal = BimodalPredictor(table_size=chooser_size)
+        self._gshare = GsharePredictor(
+            table_bits=table_bits, history_bits=history_bits
+        )
+        self.reset()
+
+    def reset(self):
+        self._bimodal.reset()
+        self._gshare.reset()
+        # 0-1 favour bimodal, 2-3 favour gshare; start neutral-global.
+        self._chooser = [2] * self.chooser_size
+
+    def _choose_gshare(self, pc):
+        return self._chooser[pc % self.chooser_size] >= 2
+
+    def predict(self, pc):
+        if self._choose_gshare(pc):
+            return self._gshare.predict(pc)
+        return self._bimodal.predict(pc)
+
+    def update(self, pc, taken):
+        bimodal_prediction = self._bimodal.predict(pc)
+        gshare_prediction = self._gshare.predict(pc)
+        # Train the chooser toward whichever component was right when
+        # they disagreed.
+        if bimodal_prediction != gshare_prediction:
+            index = pc % self.chooser_size
+            if gshare_prediction == taken:
+                self._chooser[index] = min(3, self._chooser[index] + 1)
+            else:
+                self._chooser[index] = max(0, self._chooser[index] - 1)
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)

@@ -1,0 +1,28 @@
+"""Control-flow analysis.
+
+Provides per-function CFGs over :class:`repro.isa.Program`, the
+dominator/post-dominator analysis the paper uses to find exact CFM
+points (the immediate post-dominator, via Cooper-Harvey-Kennedy), natural
+loop detection for diverge loop branches, and the bounded working-list
+path enumeration at the heart of Alg-freq (paper §3.3).
+"""
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph, build_cfg, build_cfgs
+from repro.cfg.dominators import DominatorInfo, compute_dominators, compute_postdominators
+from repro.cfg.loops import Loop, find_natural_loops
+from repro.cfg.paths import Path, PathSet, enumerate_paths
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "build_cfgs",
+    "DominatorInfo",
+    "compute_dominators",
+    "compute_postdominators",
+    "Loop",
+    "find_natural_loops",
+    "Path",
+    "PathSet",
+    "enumerate_paths",
+]

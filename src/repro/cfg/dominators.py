@@ -1,0 +1,157 @@
+"""Dominator and post-dominator analysis.
+
+Implements Cooper, Harvey & Kennedy's "A Simple, Fast Dominance
+Algorithm" — the exact algorithm the paper cites for finding the
+immediate post-dominator (IPOSDOM) of a branch, which is the unique
+exact CFM point of simple/nested hammocks (paper §3.1–3.2).
+
+Post-dominators are computed as dominators of the reverse CFG with a
+virtual exit node that collects every block without successors.  Blocks
+that cannot reach any exit (e.g. provably infinite loops) have no
+post-dominator and report ``None``.
+"""
+
+
+class DominatorInfo:
+    """Immediate-(post)dominator tree over basic block ids.
+
+    ``idom[b]`` is the immediate (post)dominator block id of ``b``, or
+    ``None`` for the root / unreachable nodes.
+    """
+
+    def __init__(self, idom, root):
+        self.idom = idom
+        self.root = root
+
+    def dominates(self, a, b):
+        """True if ``a`` (post)dominates ``b`` (reflexively)."""
+        node = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def immediate(self, block_id):
+        """The immediate (post)dominator of ``block_id`` or ``None``."""
+        return self.idom.get(block_id)
+
+
+def compute_dominators(cfg):
+    """Dominator tree of ``cfg`` (root = entry block)."""
+    root = cfg.entry_block.block_id
+    idom = _compute_idoms_generic(
+        nodes=list(range(len(cfg.blocks))),
+        successors=lambda b: cfg.blocks[b].successors,
+        predecessors=lambda b: cfg.blocks[b].predecessors,
+        root=root,
+    )
+    return DominatorInfo(idom, root)
+
+
+#: Block id used for the virtual exit in post-dominator analysis.
+VIRTUAL_EXIT = -1
+
+
+def compute_postdominators(cfg):
+    """Post-dominator tree of ``cfg`` over a virtual exit node.
+
+    The returned :class:`DominatorInfo` maps real block ids; a block
+    whose only post-dominator is the virtual exit reports ``None`` from
+    :meth:`DominatorInfo.immediate` (it has no real IPOSDOM).
+    """
+    exits = [block.block_id for block in cfg.exit_blocks()]
+    num_nodes = len(cfg.blocks)
+
+    def successors(node):
+        if node == VIRTUAL_EXIT:
+            return []
+        succs = cfg.blocks[node].successors
+        if not succs:
+            return [VIRTUAL_EXIT]
+        return succs
+
+    def predecessors(node):
+        if node == VIRTUAL_EXIT:
+            return exits
+        return cfg.blocks[node].predecessors
+
+    # Reverse the graph: post-dominance == dominance on reversed edges.
+    idom = _compute_idoms_generic(
+        nodes=[VIRTUAL_EXIT] + list(range(num_nodes)),
+        successors=predecessors,  # reversed
+        predecessors=successors,  # reversed
+        root=VIRTUAL_EXIT,
+    )
+    # Replace the virtual exit with None.
+    cleaned = {}
+    for node, parent in idom.items():
+        if node == VIRTUAL_EXIT:
+            continue
+        cleaned[node] = None if parent == VIRTUAL_EXIT else parent
+    return DominatorInfo(cleaned, VIRTUAL_EXIT)
+
+
+def _compute_idoms_generic(nodes, successors, predecessors, root):
+    """CHK dominance over an arbitrary node-id space (allows -1 ids)."""
+    visited = {root}
+    order = []
+    stack = [(root, iter(successors(root)))]
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, iter(successors(child))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    rpo_number = {node: i for i, node in enumerate(order)}
+    idom = {root: root}
+
+    def intersect(a, b):
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            new_idom = None
+            for pred in predecessors(node):
+                if pred in idom and pred in rpo_number:
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(new_idom, pred)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    result = {node: parent for node, parent in idom.items() if node != root}
+    result[root] = None
+    return result
+
+
+def immediate_postdominator_pc(cfg, postdoms, branch_pc):
+    """The pc of the IPOSDOM block entry of the branch at ``branch_pc``.
+
+    This is the paper's exact CFM point: the first instruction of the
+    immediate post-dominator block of the block ending in the branch.
+    Returns ``None`` when the branch has no real post-dominator.
+    """
+    block = cfg.block_containing(branch_pc)
+    parent = postdoms.immediate(block.block_id)
+    if parent is None:
+        return None
+    return cfg.blocks[parent].start

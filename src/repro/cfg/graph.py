@@ -1,0 +1,174 @@
+"""Per-function control-flow graphs.
+
+The CFG is intraprocedural: ``CALL`` falls through to the next
+instruction (the callee's effect on control flow is invisible at this
+level, matching how the paper's binary-analysis toolset and compiler
+algorithms treat hammocks; hammocks that merge *through* returns are
+handled separately by the return-CFM mechanism, §3.5).  ``RET`` and
+``HALT`` terminate blocks with no successors.
+"""
+
+from repro.errors import CFGError
+from repro.isa.instructions import Opcode
+
+
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``.
+
+    ``successors``/``predecessors`` are lists of block ids.  For a block
+    ending in a conditional branch, ``taken_successor`` and
+    ``fallthrough_successor`` distinguish the two out-edges.
+    """
+
+    __slots__ = (
+        "block_id",
+        "start",
+        "end",
+        "successors",
+        "predecessors",
+        "taken_successor",
+        "fallthrough_successor",
+    )
+
+    def __init__(self, block_id, start, end):
+        self.block_id = block_id
+        self.start = start
+        self.end = end
+        self.successors = []
+        self.predecessors = []
+        self.taken_successor = None
+        self.fallthrough_successor = None
+
+    @property
+    def size(self):
+        """Number of instructions in the block."""
+        return self.end - self.start
+
+    @property
+    def last_pc(self):
+        return self.end - 1
+
+    def __repr__(self):
+        return f"BasicBlock(id={self.block_id}, [{self.start}, {self.end}))"
+
+
+class ControlFlowGraph:
+    """The CFG of one function."""
+
+    def __init__(self, program, function, blocks, block_of_pc):
+        self.program = program
+        self.function = function
+        self.blocks = blocks
+        self._block_of_pc = block_of_pc
+
+    @property
+    def entry_block(self):
+        return self.blocks[0]
+
+    def block_containing(self, pc):
+        """The basic block holding instruction index ``pc``."""
+        if not self.function.contains(pc):
+            raise CFGError(
+                f"pc {pc} is outside function {self.function.name!r}"
+            )
+        return self._block_of_pc[pc - self.function.start]
+
+    def terminator(self, block):
+        """The last instruction of ``block``."""
+        return self.program[block.last_pc]
+
+    def conditional_branch_blocks(self):
+        """Blocks ending in a conditional branch, in program order."""
+        return [
+            block
+            for block in self.blocks
+            if self.program[block.last_pc].is_conditional_branch
+        ]
+
+    def exit_blocks(self):
+        """Blocks with no intraprocedural successors (RET/HALT/end)."""
+        return [block for block in self.blocks if not block.successors]
+
+    def edge_iter(self):
+        """Yield ``(src_block, dst_block)`` for every CFG edge."""
+        for block in self.blocks:
+            for succ_id in block.successors:
+                yield block, self.blocks[succ_id]
+
+    def __repr__(self):
+        return (
+            f"ControlFlowGraph({self.function.name!r}, "
+            f"{len(self.blocks)} blocks)"
+        )
+
+
+def _find_leaders(program, function):
+    """Instruction indices that start a basic block, sorted."""
+    leaders = {function.start}
+    for pc in range(function.start, function.end):
+        inst = program[pc]
+        if inst.op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP):
+            leaders.add(inst.target)
+            if pc + 1 < function.end:
+                leaders.add(pc + 1)
+        elif inst.op in (Opcode.RET, Opcode.HALT):
+            if pc + 1 < function.end:
+                leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def build_cfg(program, function):
+    """Construct the :class:`ControlFlowGraph` of ``function``."""
+    leaders = _find_leaders(program, function)
+    blocks = []
+    block_of_pc = [None] * function.size
+    boundaries = leaders + [function.end]
+    for block_id, (start, end) in enumerate(
+        zip(boundaries[:-1], boundaries[1:])
+    ):
+        block = BasicBlock(block_id, start, end)
+        blocks.append(block)
+        for pc in range(start, end):
+            block_of_pc[pc - function.start] = block
+
+    leader_to_block = {block.start: block for block in blocks}
+
+    def link(src, dst, kind):
+        src.successors.append(dst.block_id)
+        dst.predecessors.append(src.block_id)
+        if kind == "taken":
+            src.taken_successor = dst.block_id
+        elif kind == "fallthrough":
+            src.fallthrough_successor = dst.block_id
+
+    for block in blocks:
+        inst = program[block.last_pc]
+        op = inst.op
+        if op in (Opcode.BEQZ, Opcode.BNEZ):
+            target_block = leader_to_block.get(inst.target)
+            if target_block is None:
+                raise CFGError(
+                    f"branch @{block.last_pc} targets non-leader {inst.target}"
+                )
+            link(block, target_block, "taken")
+            if block.end < function.end:
+                link(block, leader_to_block[block.end], "fallthrough")
+        elif op is Opcode.JMP:
+            link(block, leader_to_block[inst.target], "taken")
+        elif op in (Opcode.RET, Opcode.HALT):
+            pass  # function exit: no intraprocedural successors
+        else:
+            if block.end < function.end:
+                link(block, leader_to_block[block.end], "fallthrough")
+            # else: the function falls off its end; the emulator will
+            # fault if this is ever executed, so we leave no successor.
+
+    return ControlFlowGraph(program, function, blocks, block_of_pc)
+
+
+def build_cfgs(program):
+    """Build the CFG of every function, keyed by function name."""
+    return {
+        function.name: build_cfg(program, function)
+        for function in program.functions
+    }

@@ -1,0 +1,274 @@
+"""Bounded, profile-pruned path enumeration (paper §3.3, Alg-freq).
+
+From a conditional branch, all control-flow paths on each direction are
+enumerated with a working-list algorithm, following only branch
+directions whose profiled edge probability is at least
+``min_exec_prob`` (paper threshold 0.001), and stopping at the branch's
+IPOSDOM, at ``max_instr`` instructions, or at ``max_cbr`` conditional
+branches — exactly the bounds of Algorithm 2.
+
+Beyond the paper's bounds, a global ``max_paths`` cap (default 4096)
+guards against pathological exponential CFGs; when it triggers, the
+dropped probability mass makes merge probabilities *under*-estimates,
+which only makes selection more conservative.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Paths whose cumulative probability falls below this are abandoned;
+#: they contribute negligibly to merge probabilities and expected sizes.
+MIN_PATH_PROB = 1e-7
+
+
+@dataclass(frozen=True)
+class Path:
+    """One enumerated path.
+
+    ``block_ids`` are the blocks *after* the branch, in order, up to but
+    excluding the stop block.  ``prob`` is the product of profiled edge
+    probabilities along the path (conditional on the initial branch
+    direction).  ``reason`` is one of ``"stop"`` (reached a stop pc),
+    ``"return"`` (reached a RET block), ``"end"`` (HALT / dead end),
+    ``"limit"`` (``max_instr``/``max_cbr`` exceeded) or ``"pruned"``
+    (every continuation fell below ``min_exec_prob``).
+    ``stop_pc`` is set for ``"stop"`` paths.
+    """
+
+    block_ids: Tuple[int, ...]
+    prob: float
+    insts: int
+    cbrs: int
+    reason: str
+    stop_pc: Optional[int] = None
+
+
+class PathSet:
+    """Enumerated paths for both directions of one branch."""
+
+    def __init__(self, cfg, branch_pc, taken_paths, nottaken_paths):
+        self.cfg = cfg
+        self.branch_pc = branch_pc
+        self.taken_paths = taken_paths
+        self.nottaken_paths = nottaken_paths
+
+    def paths(self, direction):
+        """Paths for ``direction`` ∈ {"taken", "nottaken"}."""
+        if direction == "taken":
+            return self.taken_paths
+        if direction == "nottaken":
+            return self.nottaken_paths
+        raise ValueError(f"bad direction {direction!r}")
+
+    def reach_prob(self, direction):
+        """Map block-entry pc -> probability of being reached.
+
+        The probability that execution, having gone in ``direction`` at
+        the branch, reaches the given block entry within the enumeration
+        bounds (paper's pT/pNT, §3.3 lines 5-6).
+        """
+        blocks = self.cfg.blocks
+        reached = {}
+        for path in self.paths(direction):
+            seen = set()
+            for block_id in path.block_ids:
+                pc = blocks[block_id].start
+                if pc not in seen:
+                    seen.add(pc)
+                    reached[pc] = reached.get(pc, 0.0) + path.prob
+            if path.reason == "stop" and path.stop_pc is not None:
+                if path.stop_pc not in seen:
+                    reached[path.stop_pc] = (
+                        reached.get(path.stop_pc, 0.0) + path.prob
+                    )
+        return reached
+
+    def return_prob(self, direction):
+        """Probability that ``direction`` reaches a RET before the bounds."""
+        return sum(
+            p.prob for p in self.paths(direction) if p.reason == "return"
+        )
+
+    def insts_until(self, path, target_pc):
+        """Instructions along ``path`` before ``target_pc``'s block.
+
+        Returns ``None`` if the path never reaches ``target_pc``.
+        """
+        blocks = self.cfg.blocks
+        count = 0
+        for block_id in path.block_ids:
+            block = blocks[block_id]
+            if block.start == target_pc:
+                return count
+            count += block.size
+        if path.reason == "stop" and path.stop_pc == target_pc:
+            return count
+        return None
+
+    def longest_insts_to(self, direction, target_pc):
+        """Max instructions before reaching ``target_pc`` (method 2, §4.1.1).
+
+        Considers every enumerated path on ``direction``; paths that
+        never reach the target contribute their full length (they are
+        fetched in dpred-mode until the bounds).  Returns 0 if there are
+        no paths.
+        """
+        longest = 0
+        for path in self.paths(direction):
+            upto = self.insts_until(path, target_pc)
+            longest = max(longest, path.insts if upto is None else upto)
+        return longest
+
+    def expected_insts_to(self, direction, target_pc):
+        """Edge-profile expected instructions fetched (method 3, §4.1.1).
+
+        The expectation over enumerated paths of the instructions
+        fetched on ``direction`` before merging at ``target_pc`` (paths
+        that miss the target contribute their full enumerated length).
+        """
+        total = 0.0
+        mass = 0.0
+        for path in self.paths(direction):
+            upto = self.insts_until(path, target_pc)
+            length = path.insts if upto is None else upto
+            total += path.prob * length
+            mass += path.prob
+        if mass == 0.0:
+            return 0.0
+        return total / mass
+
+    def first_reach_prob(self, direction, candidate_pcs):
+        """Probability each candidate is the *first* one reached.
+
+        Implements the chain-of-CFM-points correction of §3.3.1: when
+        one candidate lies on paths to another, merging happens at the
+        first one encountered, so the merge probability of the second
+        must exclude those paths.
+        """
+        blocks = self.cfg.blocks
+        candidates = set(candidate_pcs)
+        first = {pc: 0.0 for pc in candidate_pcs}
+        for path in self.paths(direction):
+            hit = None
+            for block_id in path.block_ids:
+                pc = blocks[block_id].start
+                if pc in candidates:
+                    hit = pc
+                    break
+            if hit is None and path.reason == "stop" \
+                    and path.stop_pc in candidates:
+                hit = path.stop_pc
+            if hit is not None:
+                first[hit] += path.prob
+        return first
+
+
+def enumerate_paths(
+    cfg,
+    branch_pc,
+    edge_prob,
+    max_instr,
+    max_cbr,
+    min_exec_prob=0.001,
+    stop_pcs=frozenset(),
+    max_paths=4096,
+):
+    """Enumerate bounded paths on both directions of ``branch_pc``.
+
+    Parameters
+    ----------
+    edge_prob:
+        Callable ``(branch_pc, taken: bool) -> float`` giving the
+        profiled probability of each direction of any conditional
+        branch encountered (including the root branch's successors'
+        internal branches).
+    stop_pcs:
+        Block-entry pcs at which enumeration stops (typically the
+        IPOSDOM of the branch, when it exists).
+    """
+    branch_block = cfg.block_containing(branch_pc)
+    results = {}
+    for direction, succ_id in (
+        ("taken", branch_block.taken_successor),
+        ("nottaken", branch_block.fallthrough_successor),
+    ):
+        if succ_id is None:
+            results[direction] = []
+            continue
+        results[direction] = _explore(
+            cfg,
+            succ_id,
+            edge_prob,
+            max_instr,
+            max_cbr,
+            min_exec_prob,
+            stop_pcs,
+            max_paths,
+        )
+    return PathSet(cfg, branch_pc, results["taken"], results["nottaken"])
+
+
+def _explore(
+    cfg,
+    start_block_id,
+    edge_prob,
+    max_instr,
+    max_cbr,
+    min_exec_prob,
+    stop_pcs,
+    max_paths,
+):
+    blocks = cfg.blocks
+    program = cfg.program
+    finished = []
+    # Work items: (block_id, prefix_blocks, prob, insts, cbrs).
+    worklist = [(start_block_id, (), 1.0, 0, 0)]
+    while worklist and len(finished) < max_paths:
+        block_id, prefix, prob, insts, cbrs = worklist.pop()
+        block = blocks[block_id]
+        if block.start in stop_pcs:
+            finished.append(
+                Path(prefix, prob, insts, cbrs, "stop", stop_pc=block.start)
+            )
+            continue
+        prefix = prefix + (block_id,)
+        insts += block.size
+        if insts > max_instr:
+            finished.append(Path(prefix, prob, insts, cbrs, "limit"))
+            continue
+        terminator = program[block.last_pc]
+        if terminator.is_return or terminator.is_halt:
+            reason = "return" if terminator.is_return else "end"
+            finished.append(Path(prefix, prob, insts, cbrs, reason))
+            continue
+        if terminator.is_conditional_branch:
+            cbrs += 1
+            if cbrs > max_cbr:
+                finished.append(Path(prefix, prob, insts, cbrs, "limit"))
+                continue
+            pushed = False
+            for succ_id, taken in (
+                (block.taken_successor, True),
+                (block.fallthrough_successor, False),
+            ):
+                if succ_id is None:
+                    continue
+                p_edge = edge_prob(block.last_pc, taken)
+                if p_edge < min_exec_prob:
+                    continue
+                child_prob = prob * p_edge
+                if child_prob < MIN_PATH_PROB:
+                    continue
+                worklist.append((succ_id, prefix, child_prob, insts, cbrs))
+                pushed = True
+            if not pushed:
+                finished.append(Path(prefix, prob, insts, cbrs, "pruned"))
+        else:
+            # JMP or fallthrough: single successor with probability 1.
+            if block.successors:
+                worklist.append(
+                    (block.successors[0], prefix, prob, insts, cbrs)
+                )
+            else:
+                finished.append(Path(prefix, prob, insts, cbrs, "end"))
+    return finished

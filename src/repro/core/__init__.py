@@ -1,0 +1,41 @@
+"""The paper's contribution: profile-driven diverge-branch selection.
+
+This package implements every selection algorithm and model in the
+paper:
+
+- :mod:`repro.core.alg_exact` — Algorithm 1 (simple/nested hammocks,
+  exact CFM points at the IPOSDOM).
+- :mod:`repro.core.alg_freq` — Algorithm 2 (frequently-hammocks,
+  approximate CFM points) including the chain-of-CFM-points reduction.
+- :mod:`repro.core.short_hammocks` — the always-predicate heuristic.
+- :mod:`repro.core.return_cfm` — return CFM points.
+- :mod:`repro.core.loop_selection` — diverge loop branch heuristics.
+- :mod:`repro.core.cost_model` — the analytical cost-benefit model of
+  §4 (hammocks) and §5.1 (loops).
+- :mod:`repro.core.simple_algorithms` — the §7.2 baselines
+  (Every-br, Random-50, High-BP-5, Immediate, If-else).
+- :mod:`repro.core.selector` — the end-to-end pipeline producing a
+  :class:`repro.core.marks.BinaryAnnotation` for the DMP simulator.
+"""
+
+from repro.core.marks import (
+    BinaryAnnotation,
+    CFMKind,
+    CFMPoint,
+    DivergeBranch,
+    DivergeKind,
+)
+from repro.core.thresholds import SelectionThresholds
+from repro.core.selector import DivergeSelector, SelectionConfig, select_diverge_branches
+
+__all__ = [
+    "BinaryAnnotation",
+    "CFMKind",
+    "CFMPoint",
+    "DivergeBranch",
+    "DivergeKind",
+    "SelectionThresholds",
+    "DivergeSelector",
+    "SelectionConfig",
+    "select_diverge_branches",
+]

@@ -1,0 +1,138 @@
+"""Algorithm 2 (Alg-freq): frequently-hammocks, approximate CFM points.
+
+For each conditional branch (not already an Alg-exact selection), paths
+on both directions are enumerated under the same bounds as Algorithm 1.
+Every basic block entry reached on *both* directions is a CFM point
+candidate with merge probability pT(X)·pNT(X) (paper §3.3 lines 4-7).
+Candidates below MIN_MERGE_PROB are dropped; chains of CFM points are
+reduced to their best member (§3.3.1, using first-merge probabilities);
+finally the best MAX_CFM candidates are kept.
+"""
+
+from repro.core.alg_exact import HammockCandidate
+from repro.core.marks import CFMKind, CFMPoint, DivergeKind
+
+
+def find_freq_candidates(analysis, thresholds, exclude_pcs=frozenset()):
+    """All Alg-freq candidates, excluding ``exclude_pcs`` (Alg-exact wins)."""
+    candidates = []
+    for branch_pc in analysis.hammock_candidate_pcs():
+        if branch_pc in exclude_pcs:
+            continue
+        candidate = _classify_freq(analysis, thresholds, branch_pc)
+        if candidate is not None:
+            candidates.append(candidate)
+    return candidates
+
+
+def _classify_freq(analysis, thresholds, branch_pc):
+    path_set = analysis.paths(
+        branch_pc,
+        max_instr=thresholds.max_instr,
+        max_cbr=thresholds.max_cbr,
+        min_exec_prob=thresholds.min_exec_prob,
+        stop_at_iposdom=True,
+    )
+    if not path_set.taken_paths or not path_set.nottaken_paths:
+        return None
+
+    reach_taken = path_set.reach_prob("taken")
+    reach_nottaken = path_set.reach_prob("nottaken")
+    merge_prob = {
+        pc: reach_taken[pc] * reach_nottaken[pc]
+        for pc in reach_taken.keys() & reach_nottaken.keys()
+    }
+    merge_prob = {
+        pc: prob
+        for pc, prob in merge_prob.items()
+        if prob >= max(thresholds.min_merge_prob, 1e-9)
+    }
+    if not merge_prob:
+        return None
+
+    reduced = _reduce_chains(path_set, merge_prob)
+    best = sorted(reduced.items(), key=lambda item: (-item[1], item[0]))
+    best = best[: thresholds.max_cfm]
+
+    cfm_points = tuple(
+        CFMPoint(pc=pc, kind=CFMKind.APPROXIMATE, merge_prob=min(1.0, prob))
+        for pc, prob in best
+    )
+    return HammockCandidate(
+        branch_pc=branch_pc,
+        kind=DivergeKind.FREQUENTLY_HAMMOCK,
+        cfm_points=cfm_points,
+        path_set=path_set,
+    )
+
+
+def _reduce_chains(path_set, merge_prob):
+    """Collapse chains of CFM candidates (paper §3.3.1).
+
+    Two candidates chain when one lies on a path from the branch to the
+    other: dpred-mode always stops at the first CFM point reached, so
+    only one member of each chain can ever be the merge point.  The
+    survivor is the member with the highest *first*-merge probability
+    (footnote 3's correction), and it keeps that corrected probability.
+    """
+    candidates = sorted(merge_prob)
+    if len(candidates) <= 1:
+        return dict(merge_prob)
+
+    # Build the "appears before" relation over candidate pcs from the
+    # enumerated paths of both directions.
+    order = {pc: set() for pc in candidates}  # pc -> pcs seen after it
+    candidate_set = set(candidates)
+    blocks = path_set.cfg.blocks
+    for direction in ("taken", "nottaken"):
+        for path in path_set.paths(direction):
+            seen = []
+            for block_id in path.block_ids:
+                pc = blocks[block_id].start
+                if pc in candidate_set:
+                    for earlier in seen:
+                        if earlier != pc:
+                            order[earlier].add(pc)
+                    if pc not in seen:
+                        seen.append(pc)
+            if path.reason == "stop" and path.stop_pc in candidate_set:
+                for earlier in seen:
+                    if earlier != path.stop_pc:
+                        order[earlier].add(path.stop_pc)
+
+    # Union-find chain groups: chained if either reaches the other.
+    parent = {pc: pc for pc in candidates}
+
+    def find(pc):
+        while parent[pc] != pc:
+            parent[pc] = parent[parent[pc]]
+            pc = parent[pc]
+        return pc
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for pc, afters in order.items():
+        for other in afters:
+            union(pc, other)
+
+    groups = {}
+    for pc in candidates:
+        groups.setdefault(find(pc), []).append(pc)
+
+    reduced = {}
+    for members in groups.values():
+        if len(members) == 1:
+            pc = members[0]
+            reduced[pc] = merge_prob[pc]
+            continue
+        first_taken = path_set.first_reach_prob("taken", members)
+        first_nottaken = path_set.first_reach_prob("nottaken", members)
+        first_merge = {
+            pc: first_taken[pc] * first_nottaken[pc] for pc in members
+        }
+        winner = max(members, key=lambda pc: (first_merge[pc], -pc))
+        reduced[winner] = first_merge[winner]
+    return reduced

@@ -1,0 +1,226 @@
+"""The analytical cost-benefit model (paper §4 and §5.1).
+
+The model estimates, in fetch cycles, the cost of dynamically
+predicating a branch:
+
+    dpred_cost = dpred_overhead · P(enter dpred | correct)
+               + (dpred_overhead − misp_penalty) · P(enter dpred | misp)   (1)
+
+with P(enter|misp) = Acc_Conf, the confidence estimator's PVN (2)-(3).
+A branch is selected when dpred_cost < 0 (4).
+
+``dpred_overhead`` is the fetch cost of the useless (wrong-path)
+instructions:
+
+- simple/nested hammocks: N(useless)/fw (13)-(15), with N(dpred_insts)
+  estimated from the longest path (method 2) or the edge-profile
+  average (method 3) of §4.1.1;
+- frequently-hammocks: weighted by the merge probability, with the
+  non-merging case costing half the branch resolution time (16);
+- multiple CFM points: the independence-weighted combination (17);
+- loops: select-µop cost per iteration (18), plus the extra-iteration
+  cost in the late-exit case (19), combined over the four outcome
+  cases (20).
+
+Model limitations are the paper's own (§4.4): perfect fetch, no nested
+dpred, half-useful fetch when paths do not merge, select-µops ignored
+for hammocks.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.thresholds import DEFAULT_ACC_CONF
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Machine parameters the compiler plugs into the model.
+
+    ``misp_penalty`` is the machine's *minimum* branch misprediction
+    penalty (Table 1: 25 cycles); ``branch_resolution_cycles`` defaults
+    to the same value, as in Equation (16)'s definition.
+    """
+
+    fetch_width: int = 8
+    misp_penalty: float = 25.0
+    acc_conf: float = DEFAULT_ACC_CONF
+    branch_resolution_cycles: Optional[float] = None
+
+    @property
+    def resolution(self):
+        if self.branch_resolution_cycles is not None:
+            return self.branch_resolution_cycles
+        return self.misp_penalty
+
+
+@dataclass
+class HammockCostReport:
+    """The model's verdict on one hammock candidate."""
+
+    branch_pc: int
+    dpred_overhead: float
+    dpred_cost: float
+    useless_by_cfm: Dict[int, float]
+    merge_prob_total: float
+
+    @property
+    def selected(self):
+        return self.dpred_cost < 0.0
+
+
+def dpred_cost(dpred_overhead, params):
+    """Equation (1): total cost given the overhead and Acc_Conf."""
+    p_misp = params.acc_conf
+    p_correct = 1.0 - params.acc_conf
+    return (
+        dpred_overhead * p_correct
+        + (dpred_overhead - params.misp_penalty) * p_misp
+    )
+
+
+def estimate_side_insts(path_set, direction, cfm_pc, method):
+    """N(BH)/N(CH) of §4.1.1 for one side of the hammock.
+
+    ``method`` is ``"long"`` (method 2: longest possible path) or
+    ``"edge"`` (method 3: edge-profile expected instructions).
+    """
+    if method == "long":
+        return float(path_set.longest_insts_to(direction, cfm_pc))
+    if method == "edge":
+        return path_set.expected_insts_to(direction, cfm_pc)
+    raise ValueError(f"unknown estimation method {method!r}")
+
+
+def useless_insts_for_cfm(path_set, cfm_pc, p_taken, method):
+    """Equations (5)-(13): useless instructions assuming one CFM point."""
+    n_taken = estimate_side_insts(path_set, "taken", cfm_pc, method)
+    n_nottaken = estimate_side_insts(path_set, "nottaken", cfm_pc, method)
+    n_dpred = n_taken + n_nottaken                              # (5)
+    n_useful = p_taken * n_taken + (1.0 - p_taken) * n_nottaken  # (12)
+    return max(0.0, n_dpred - n_useful)                          # (13)
+
+
+def hammock_overhead(candidate, p_taken, params, method):
+    """Equations (14), (16), (17): dpred overhead of a hammock candidate.
+
+    Exact CFM points carry merge probability 1.0, so the frequently-
+    hammock formula (16)/(17) degenerates to the simple-hammock formula
+    (14) for them.
+    """
+    useless_by_cfm = {}
+    weighted_useless = 0.0
+    merge_total = 0.0
+    for cfm in candidate.cfm_points:
+        if cfm.pc is None:
+            # Return CFMs: merging happens at a return; approximate the
+            # wrong-path length by the full enumerated path lengths.
+            n_useless = _return_cfm_useless(candidate.path_set, p_taken,
+                                            method)
+        else:
+            n_useless = useless_insts_for_cfm(
+                candidate.path_set, cfm.pc, p_taken, method
+            )
+        useless_by_cfm[cfm.pc] = n_useless
+        weighted_useless += n_useless * cfm.merge_prob
+        merge_total += cfm.merge_prob
+    merge_total = min(1.0, merge_total)
+    overhead = weighted_useless / params.fetch_width + (
+        1.0 - merge_total
+    ) * (params.resolution / 2.0)                                # (17)
+    return overhead, useless_by_cfm, merge_total
+
+
+def _return_cfm_useless(path_set, p_taken, method):
+    """Useless-instruction estimate when the merge point is a return."""
+    if method == "long":
+        n_taken = float(max((p.insts for p in path_set.taken_paths),
+                            default=0))
+        n_nottaken = float(max((p.insts for p in path_set.nottaken_paths),
+                               default=0))
+    else:
+        n_taken = _expected_path_insts(path_set.taken_paths)
+        n_nottaken = _expected_path_insts(path_set.nottaken_paths)
+    n_dpred = n_taken + n_nottaken
+    n_useful = p_taken * n_taken + (1.0 - p_taken) * n_nottaken
+    return max(0.0, n_dpred - n_useful)
+
+
+def _expected_path_insts(paths):
+    mass = sum(p.prob for p in paths)
+    if mass == 0.0:
+        return 0.0
+    return sum(p.prob * p.insts for p in paths) / mass
+
+
+def evaluate_hammock(candidate, profile, params, method="edge"):
+    """Run the full §4 model on one candidate (Equation (15)/(17) + (1))."""
+    p_taken = profile.edge_profile.taken_prob(candidate.branch_pc)
+    overhead, useless_by_cfm, merge_total = hammock_overhead(
+        candidate, p_taken, params, method
+    )
+    cost = dpred_cost(overhead, params)
+    return HammockCostReport(
+        branch_pc=candidate.branch_pc,
+        dpred_overhead=overhead,
+        dpred_cost=cost,
+        useless_by_cfm=useless_by_cfm,
+        merge_prob_total=merge_total,
+    )
+
+
+# -- loops (§5.1) -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopCaseProbabilities:
+    """P of each dynamic-predication outcome for a loop branch.
+
+    Probabilities must sum to 1 (correct + early + late + no-exit).
+    The paper notes collecting these requires DMP-emulating profiling;
+    the model is exposed for analysis and the ablation benchmarks while
+    the production selector uses the §5.2 heuristics.
+    """
+
+    correct: float
+    early_exit: float
+    late_exit: float
+    no_exit: float
+
+    def __post_init__(self):
+        total = self.correct + self.early_exit + self.late_exit + self.no_exit
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"loop case probabilities sum to {total}")
+
+
+def loop_select_overhead(n_select_uops, dpred_iter, params):
+    """Equation (18): select-µop fetch cost over the dpred iterations."""
+    return n_select_uops * dpred_iter / params.fetch_width
+
+
+def loop_late_exit_overhead(loop_body_size, extra_iter, n_select_uops,
+                            dpred_iter, params):
+    """Equation (19): extra-iteration NOPs plus select-µops."""
+    return (
+        loop_body_size * extra_iter / params.fetch_width
+        + loop_select_overhead(n_select_uops, dpred_iter, params)
+    )
+
+
+def loop_dpred_cost(loop_body_size, n_select_uops, dpred_iter,
+                    dpred_extra_iter, case_probs, params):
+    """Equation (20): expected cost of dynamically predicating a loop.
+
+    Only the late-exit case carries the benefit of avoiding the flush
+    (−misp_penalty); every case pays its overhead.
+    """
+    overhead_select = loop_select_overhead(n_select_uops, dpred_iter, params)
+    overhead_late = loop_late_exit_overhead(
+        loop_body_size, dpred_extra_iter, n_select_uops, dpred_iter, params
+    )
+    return (
+        case_probs.correct * overhead_select
+        + case_probs.early_exit * overhead_select
+        + case_probs.no_exit * overhead_select
+        + case_probs.late_exit * (overhead_late - params.misp_penalty)
+    )

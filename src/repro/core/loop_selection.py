@@ -1,0 +1,85 @@
+"""Diverge loop branch heuristics (paper §5.2).
+
+The full per-case loop cost model (§5.1, in
+:mod:`repro.core.cost_model`) needs DMP-specific profiling the paper
+deems impractical, so selection uses three profile-driven filters that
+encode the model's insights.  A loop-exit branch is *not* selected when
+any of the following holds:
+
+1. the static loop body exceeds ``STATIC_LOOP_SIZE`` instructions;
+2. the average dynamic instructions from loop entrance to exit (body
+   size × average trip count) exceed ``DYNAMIC_LOOP_SIZE``;
+3. the average trip count exceeds ``LOOP_ITER`` (high-iteration loops
+   mostly produce the no-exit case, which has cost and no benefit).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.marks import CFMKind, CFMPoint, DivergeBranch, DivergeKind
+
+
+@dataclass
+class LoopCandidateReport:
+    """Why a loop-exit branch was accepted or rejected (diagnostics)."""
+
+    branch_pc: int
+    static_size: int
+    avg_iterations: float
+    dynamic_size: float
+    accepted: bool
+    reject_reason: str = ""
+
+
+def select_loop_diverge_branches(analysis, thresholds):
+    """Selected loop diverge branches plus per-candidate reports."""
+    profile = analysis.profile
+    selected = []
+    reports = []
+    for branch_pc in analysis.loop_exit_branch_pcs():
+        if profile.edge_profile.exec_count(branch_pc) == 0:
+            continue
+        info = analysis.loop_exit_info(branch_pc)
+        loop = info.loop
+        avg_iters = profile.loop_profile.average_iterations(
+            branch_pc, info.loop_direction
+        )
+        dynamic_size = loop.static_size * avg_iters
+
+        reject = ""
+        if loop.static_size > thresholds.static_loop_size:
+            reject = "static body too large"
+        elif dynamic_size > thresholds.dynamic_loop_size:
+            reject = "dynamic loop size too large"
+        elif avg_iters > thresholds.loop_iter:
+            reject = "too many iterations"
+
+        reports.append(
+            LoopCandidateReport(
+                branch_pc=branch_pc,
+                static_size=loop.static_size,
+                avg_iterations=avg_iters,
+                dynamic_size=dynamic_size,
+                accepted=not reject,
+                reject_reason=reject,
+            )
+        )
+        if reject:
+            continue
+
+        cfg = analysis.cfg_of(branch_pc)
+        select_registers = analysis.loop_body_registers(loop, cfg)
+        selected.append(
+            DivergeBranch(
+                branch_pc=branch_pc,
+                kind=DivergeKind.LOOP,
+                cfm_points=(
+                    CFMPoint(pc=info.exit_pc, kind=CFMKind.LOOP_EXIT,
+                             merge_prob=1.0),
+                ),
+                select_registers=select_registers,
+                loop_direction=info.loop_direction,
+                loop_body_size=loop.static_size,
+                source="loop",
+            )
+        )
+    return selected, reports

@@ -1,0 +1,153 @@
+"""Diverge branch / CFM point data model and the binary annotation.
+
+The output of the compiler is "a list of diverge branches and CFM
+points that is attached to the binary and passed to [the] cycle-accurate
+execution-driven performance simulator" (paper §6.1).
+:class:`BinaryAnnotation` is that list; the DMP timing simulator keys
+its dpred-mode decisions off it.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+
+class DivergeKind(enum.Enum):
+    """CFG type of a diverge branch (paper Figure 3)."""
+
+    SIMPLE_HAMMOCK = "simple"
+    NESTED_HAMMOCK = "nested"
+    FREQUENTLY_HAMMOCK = "frequently"
+    LOOP = "loop"
+
+
+class CFMKind(enum.Enum):
+    """Exactness class of a CFM point (paper §3.1, §3.5)."""
+
+    EXACT = "exact"             # the IPOSDOM, always reached
+    APPROXIMATE = "approximate"  # reached on frequent paths only
+    RETURN = "return"            # merge at a return instruction (§3.5)
+    LOOP_EXIT = "loop_exit"      # the code after a diverge loop
+
+
+@dataclass(frozen=True)
+class CFMPoint:
+    """One control-flow merge point of a diverge branch.
+
+    ``pc`` is the merge target instruction index (``None`` for RETURN
+    CFMs, whose merge address depends on the caller).  ``merge_prob``
+    is the profiled probability that both paths reach this point
+    (pT·pNT, §3.3); exact CFMs carry 1.0.
+    """
+
+    pc: Optional[int]
+    kind: CFMKind
+    merge_prob: float = 1.0
+
+    def __post_init__(self):
+        if self.kind is CFMKind.RETURN:
+            if self.pc is not None:
+                raise ValueError("return CFM points carry no pc")
+        elif self.pc is None:
+            raise ValueError(f"{self.kind.value} CFM point needs a pc")
+        if not 0.0 <= self.merge_prob <= 1.0 + 1e-9:
+            raise ValueError(f"bad merge_prob {self.merge_prob}")
+
+
+@dataclass(frozen=True)
+class DivergeBranch:
+    """One compiler-marked diverge branch.
+
+    ``select_registers`` is the set of architectural registers written
+    on either side of the hammock (or in the loop body) — the registers
+    select-µops must reconcile at merge time; its size is the
+    N(select_uops) of the cost model.  ``always_predicate`` marks short
+    hammocks (§3.4).  For loops, ``loop_direction`` is the branch
+    direction that *continues* the loop and ``loop_body_size`` the
+    static body instruction count.
+    """
+
+    branch_pc: int
+    kind: DivergeKind
+    cfm_points: Tuple[CFMPoint, ...]
+    select_registers: FrozenSet[int] = frozenset()
+    always_predicate: bool = False
+    loop_direction: Optional[bool] = None
+    loop_body_size: int = 0
+    #: Which selection pass produced this mark (reporting only).
+    source: str = ""
+
+    def __post_init__(self):
+        # An empty CFM list is legal: the §7.2 simple baselines mark
+        # branches without CFM points, and the processor then stays in
+        # dpred-mode until resolution (pure dual-path execution).
+        if self.kind is DivergeKind.LOOP and self.loop_direction is None:
+            raise ValueError("loop diverge branch needs loop_direction")
+
+    @property
+    def cfm_pcs(self):
+        """The concrete merge pcs (excludes return CFMs)."""
+        return frozenset(
+            point.pc for point in self.cfm_points if point.pc is not None
+        )
+
+    @property
+    def has_return_cfm(self):
+        return any(p.kind is CFMKind.RETURN for p in self.cfm_points)
+
+    @property
+    def num_select_uops(self):
+        return len(self.select_registers)
+
+
+class BinaryAnnotation:
+    """The diverge-branch list attached to a program binary."""
+
+    def __init__(self, program_name, branches=()):
+        self.program_name = program_name
+        self._branches = {}
+        for branch in branches:
+            self.add(branch)
+
+    def add(self, branch):
+        if branch.branch_pc in self._branches:
+            raise ValueError(
+                f"duplicate diverge mark at pc {branch.branch_pc}"
+            )
+        self._branches[branch.branch_pc] = branch
+
+    def get(self, pc):
+        """The :class:`DivergeBranch` at ``pc`` or ``None``."""
+        return self._branches.get(pc)
+
+    def is_diverge(self, pc):
+        return pc in self._branches
+
+    def __len__(self):
+        return len(self._branches)
+
+    def __iter__(self):
+        return iter(sorted(self._branches.values(),
+                           key=lambda b: b.branch_pc))
+
+    def branches_of_kind(self, kind):
+        return [b for b in self if b.kind is kind]
+
+    @property
+    def average_cfm_points(self):
+        """Table 2's "Avg. # CFM" column."""
+        if not self._branches:
+            return 0.0
+        total = sum(len(b.cfm_points) for b in self._branches.values())
+        return total / len(self._branches)
+
+    def summary(self):
+        """Counts by kind, for reports."""
+        counts = {kind: 0 for kind in DivergeKind}
+        for branch in self._branches.values():
+            counts[branch.kind] += 1
+        return {
+            "total": len(self._branches),
+            "by_kind": {kind.value: n for kind, n in counts.items()},
+            "avg_cfm_points": self.average_cfm_points,
+        }

@@ -1,0 +1,47 @@
+"""Return CFM points (paper §3.5).
+
+Some hammocks inside functions end with *different* return instructions
+on the taken and not-taken paths; control merges at the caller's next
+instruction, whose address is unknown at compile time.  The compiler
+marks such branches with a special *return CFM*: at run time dpred-mode
+ends when a return instruction executes rather than at a fixed pc.
+"""
+
+from repro.core.alg_exact import HammockCandidate
+from repro.core.marks import CFMKind, CFMPoint, DivergeKind
+
+
+def find_return_cfm_candidates(analysis, thresholds, exclude_pcs=frozenset()):
+    """Branches whose both directions reach returns within the bounds.
+
+    Only branches not already selected (``exclude_pcs``) are examined.
+    The "merge probability" is the product of each direction's profiled
+    probability of reaching a return before the enumeration bounds.
+    """
+    candidates = []
+    for branch_pc in analysis.hammock_candidate_pcs():
+        if branch_pc in exclude_pcs:
+            continue
+        path_set = analysis.paths(
+            branch_pc,
+            max_instr=thresholds.max_instr,
+            max_cbr=thresholds.max_cbr,
+            min_exec_prob=thresholds.min_exec_prob,
+            stop_at_iposdom=True,
+        )
+        p_taken = path_set.return_prob("taken")
+        p_nottaken = path_set.return_prob("nottaken")
+        merge_prob = p_taken * p_nottaken
+        if merge_prob < thresholds.return_cfm_min_merge_prob:
+            continue
+        cfm = CFMPoint(pc=None, kind=CFMKind.RETURN,
+                       merge_prob=min(1.0, merge_prob))
+        candidates.append(
+            HammockCandidate(
+                branch_pc=branch_pc,
+                kind=DivergeKind.FREQUENTLY_HAMMOCK,
+                cfm_points=(cfm,),
+                path_set=path_set,
+            )
+        )
+    return candidates

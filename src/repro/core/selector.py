@@ -1,0 +1,264 @@
+"""The end-to-end diverge-branch selection pipeline.
+
+Combines the selection passes into the configurations the paper
+evaluates:
+
+- Figure 5 (left), cumulative heuristics: ``exact`` → ``exact+freq`` →
+  ``+short`` → ``+ret`` → ``+loop`` ("All-best-heur");
+- Figure 5 (right), cost-benefit model: ``cost-long`` / ``cost-edge``
+  (± short/ret/loop), "All-best-cost".
+
+:func:`select_diverge_branches` is the public convenience entry point.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.alg_freq import find_freq_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.cost_model import CostModelParams, evaluate_hammock
+from repro.core.loop_selection import select_loop_diverge_branches
+from repro.core.marks import BinaryAnnotation, DivergeBranch, DivergeKind
+from repro.core.return_cfm import find_return_cfm_candidates
+from repro.core.short_hammocks import apply_short_hammock_heuristic
+from repro.core.thresholds import COST_MODEL, SelectionThresholds
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Which passes run and with what parameters.
+
+    ``cost_model`` is ``None`` (threshold heuristics), ``"long"``
+    (method 2 overhead estimation) or ``"edge"`` (method 3).  When the
+    cost model is active the enumeration bounds widen to footnote 4's
+    MAX_INSTR=200 / MAX_CBR=20 and MIN_MERGE_PROB filtering is replaced
+    by the cost decision.
+    """
+
+    enable_exact: bool = True
+    enable_freq: bool = True
+    enable_short: bool = False
+    enable_return_cfm: bool = False
+    enable_loop: bool = False
+    cost_model: Optional[str] = None
+    thresholds: SelectionThresholds = field(
+        default_factory=SelectionThresholds
+    )
+    cost_params: CostModelParams = field(default_factory=CostModelParams)
+    #: §4.1 option: instead of the fixed Acc_Conf (40%), use the
+    #: confidence-estimator accuracy *measured on this application's
+    #: profiling run* ("the compiler ... can obtain the accuracy of the
+    #: confidence estimator for each individual application").
+    per_app_acc_conf: bool = False
+    #: §8.3 extension (the paper's future work): exclude branches whose
+    #: profiled misprediction rate is below this floor.  Always-easy
+    #: branches gain nothing from dynamic predication but enlarge the
+    #: static mark list and alias in the confidence estimator; the
+    #: paper proposes 2D-profiling to filter them.  0.0 disables.
+    min_misp_rate: float = 0.0
+    name: str = "custom"
+
+    @classmethod
+    def all_best_heur(cls, thresholds=None):
+        """Fig. 5's exact+freq+short+ret+loop with the best thresholds."""
+        return cls(
+            enable_exact=True,
+            enable_freq=True,
+            enable_short=True,
+            enable_return_cfm=True,
+            enable_loop=True,
+            thresholds=thresholds or SelectionThresholds(),
+            name="all-best-heur",
+        )
+
+    @classmethod
+    def all_best_cost(cls, method="edge"):
+        """Fig. 5's cost-edge+short+ret+loop ("All-best-cost")."""
+        return cls(
+            enable_exact=True,
+            enable_freq=True,
+            enable_short=True,
+            enable_return_cfm=True,
+            enable_loop=True,
+            cost_model=method,
+            name="all-best-cost",
+        )
+
+    @property
+    def effective_thresholds(self):
+        """Wider bounds in cost-model mode (footnote 4)."""
+        if self.cost_model is None:
+            return self.thresholds
+        return COST_MODEL
+
+
+class DivergeSelector:
+    """Runs the configured passes and emits a :class:`BinaryAnnotation`."""
+
+    def __init__(self, program, profile, config=None, two_d_profile=None):
+        self.program = program
+        self.profile = profile
+        self.config = config or SelectionConfig()
+        #: Optional §8.3 extension: a
+        #: :class:`repro.profiling.two_d.TwoDProfile`; when present,
+        #: always-easy branches (easy *and* phase-stable) are dropped
+        #: from hammock candidacy.
+        self.two_d_profile = two_d_profile
+        self.analysis = ProgramAnalysis(program, profile)
+        #: Per-candidate cost reports (populated in cost-model mode).
+        self.cost_reports = []
+        #: Loop-candidate accept/reject diagnostics.
+        self.loop_reports = []
+
+    def select(self):
+        config = self.config
+        thresholds = config.effective_thresholds
+        annotation = BinaryAnnotation(self.program.name)
+
+        candidates = []
+        if config.enable_exact:
+            candidates.extend(
+                find_exact_candidates(self.analysis, thresholds)
+            )
+        if config.enable_freq:
+            exclude = frozenset(c.branch_pc for c in candidates)
+            candidates.extend(
+                find_freq_candidates(self.analysis, thresholds, exclude)
+            )
+        if config.min_misp_rate > 0.0:
+            branch_profile = self.profile.branch_profile
+            candidates = [
+                c
+                for c in candidates
+                if branch_profile.misprediction_rate(c.branch_pc)
+                >= config.min_misp_rate
+            ]
+        if self.two_d_profile is not None:
+            candidates = [
+                c
+                for c in candidates
+                if self.two_d_profile.keep_branch(c.branch_pc)
+            ]
+
+        # Short hammocks are always predicated; they bypass the cost /
+        # threshold decision and drop their non-qualifying CFM points.
+        short = {}
+        if config.enable_short:
+            short, candidates = apply_short_hammock_heuristic(
+                candidates, self.profile, self.config.thresholds
+            )
+
+        cost_params = config.cost_params
+        if config.cost_model is not None and config.per_app_acc_conf:
+            measured = self.profile.measured_acc_conf
+            if measured > 0.0:
+                cost_params = replace(cost_params, acc_conf=measured)
+
+        if config.cost_model is not None:
+            selected = []
+            for candidate in candidates:
+                report = evaluate_hammock(
+                    candidate,
+                    self.profile,
+                    cost_params,
+                    method=config.cost_model,
+                )
+                self.cost_reports.append(report)
+                if report.selected:
+                    selected.append(candidate)
+            candidates = selected
+
+        for candidate in candidates:
+            annotation.add(self._finish_hammock(candidate, always=False))
+
+        for branch_pc, cfm_points in sorted(short.items()):
+            annotation.add(
+                self._finish_short(branch_pc, cfm_points)
+            )
+
+        if config.enable_return_cfm:
+            exclude = frozenset(
+                branch.branch_pc for branch in annotation
+            )
+            ret_candidates = find_return_cfm_candidates(
+                self.analysis, thresholds, exclude
+            )
+            if config.cost_model is not None:
+                kept = []
+                for candidate in ret_candidates:
+                    report = evaluate_hammock(
+                        candidate,
+                        self.profile,
+                        cost_params,
+                        method=config.cost_model,
+                    )
+                    self.cost_reports.append(report)
+                    if report.selected:
+                        kept.append(candidate)
+                ret_candidates = kept
+            for candidate in ret_candidates:
+                annotation.add(
+                    self._finish_hammock(candidate, always=False,
+                                         source="return-cfm")
+                )
+
+        if config.enable_loop:
+            loops, self.loop_reports = select_loop_diverge_branches(
+                self.analysis, self.config.thresholds
+            )
+            for branch in loops:
+                if not annotation.is_diverge(branch.branch_pc):
+                    annotation.add(branch)
+
+        return annotation
+
+    # -- record construction -------------------------------------------------
+
+    def _finish_hammock(self, candidate, always, source=None):
+        select_registers = self.analysis.select_registers_for_paths(
+            candidate.path_set, candidate.cfm_pcs
+        )
+        return DivergeBranch(
+            branch_pc=candidate.branch_pc,
+            kind=candidate.kind,
+            cfm_points=candidate.cfm_points,
+            select_registers=select_registers,
+            always_predicate=always,
+            source=source or candidate.kind.value,
+        )
+
+    def _finish_short(self, branch_pc, cfm_points):
+        thresholds = self.config.effective_thresholds
+        path_set = self.analysis.paths(
+            branch_pc,
+            max_instr=thresholds.max_instr,
+            max_cbr=thresholds.max_cbr,
+            min_exec_prob=thresholds.min_exec_prob,
+            stop_at_iposdom=True,
+        )
+        cfm_pcs = {p.pc for p in cfm_points if p.pc is not None}
+        select_registers = self.analysis.select_registers_for_paths(
+            path_set, cfm_pcs
+        )
+        kind = (
+            DivergeKind.SIMPLE_HAMMOCK
+            if all(p.merge_prob >= 0.999 for p in cfm_points)
+            else DivergeKind.FREQUENTLY_HAMMOCK
+        )
+        return DivergeBranch(
+            branch_pc=branch_pc,
+            kind=kind,
+            cfm_points=tuple(cfm_points),
+            select_registers=select_registers,
+            always_predicate=True,
+            source="short-hammock",
+        )
+
+
+def select_diverge_branches(program, profile, config=None,
+                            two_d_profile=None):
+    """One-call pipeline: profile-driven selection → annotation."""
+    return DivergeSelector(
+        program, profile, config, two_d_profile=two_d_profile
+    ).select()

@@ -1,0 +1,52 @@
+"""Short-hammock always-predicate heuristic (paper §3.4).
+
+Frequently-mispredicted hammocks with few instructions before the CFM
+point are predicated on *every* execution, not only on low confidence:
+mispredicting them flushes mostly control-independent work, while
+predicating them wastes almost nothing.  The paper's empirically best
+rule: fewer than 10 instructions on each path, merge probability at
+least 95%, misprediction rate at least 5%.
+
+A branch that qualifies keeps only its qualifying CFM points (§3.4's
+final note) and is flagged ``always_predicate``.
+"""
+
+
+def apply_short_hammock_heuristic(candidates, profile, thresholds):
+    """Partition ``candidates`` into short hammocks and the rest.
+
+    Returns ``(short, regular)``: ``short`` maps branch pc to the tuple
+    of qualifying CFM points; ``regular`` is the list of candidates
+    that did not qualify (unchanged).
+    """
+    short = {}
+    regular = []
+    for candidate in candidates:
+        qualifying = _qualifying_cfms(candidate, profile, thresholds)
+        if qualifying:
+            short[candidate.branch_pc] = qualifying
+        else:
+            regular.append(candidate)
+    return short, regular
+
+
+def _qualifying_cfms(candidate, profile, thresholds):
+    misp_rate = profile.branch_profile.misprediction_rate(
+        candidate.branch_pc
+    )
+    if misp_rate < thresholds.short_hammock_min_misp_rate:
+        return ()
+    qualifying = []
+    for cfm in candidate.cfm_points:
+        if cfm.pc is None:
+            continue  # return CFMs never qualify as short hammocks
+        if cfm.merge_prob < thresholds.short_hammock_min_merge_prob:
+            continue
+        longest_taken = candidate.path_set.longest_insts_to("taken", cfm.pc)
+        longest_nottaken = candidate.path_set.longest_insts_to(
+            "nottaken", cfm.pc
+        )
+        if longest_taken < thresholds.short_hammock_max_insts \
+                and longest_nottaken < thresholds.short_hammock_max_insts:
+            qualifying.append(cfm)
+    return tuple(qualifying)

@@ -1,0 +1,201 @@
+"""The simple diverge-branch selection baselines of §7.2.
+
+Six algorithms are compared in Figure 8; the five baselines live here:
+
+- **Every-br** — every conditional branch executed during profiling;
+- **Random-50** — a random half of them (seeded, reproducible);
+- **High-BP-5** — branches above 5% profiled misprediction rate;
+- **Immediate** — branches that have an IPOSDOM;
+- **If-else** — only simple hammocks (no intervening control flow).
+
+Per footnote 10, when a branch has an IPOSDOM it is used as the CFM
+point; branches without one get no CFM point and degrade to dual-path
+execution at run time.
+"""
+
+import random
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.marks import (
+    BinaryAnnotation,
+    CFMKind,
+    CFMPoint,
+    DivergeBranch,
+    DivergeKind,
+)
+from repro.core.thresholds import SelectionThresholds
+
+
+def _mark_with_iposdom(analysis, branch_pc, thresholds, source):
+    """A DivergeBranch using the IPOSDOM as CFM (or CFM-less)."""
+    iposdom = analysis.iposdom_pc(branch_pc)
+    if iposdom is None:
+        return DivergeBranch(
+            branch_pc=branch_pc,
+            kind=DivergeKind.FREQUENTLY_HAMMOCK,
+            cfm_points=(),
+            source=source,
+        )
+    path_set = analysis.paths(
+        branch_pc,
+        max_instr=thresholds.max_instr,
+        max_cbr=thresholds.max_cbr,
+        min_exec_prob=thresholds.min_exec_prob,
+        stop_at_iposdom=True,
+    )
+    select_registers = analysis.select_registers_for_paths(
+        path_set, {iposdom}
+    )
+    return DivergeBranch(
+        branch_pc=branch_pc,
+        kind=DivergeKind.NESTED_HAMMOCK,
+        cfm_points=(
+            CFMPoint(pc=iposdom, kind=CFMKind.EXACT, merge_prob=1.0),
+        ),
+        select_registers=select_registers,
+        source=source,
+    )
+
+
+def _annotate(program, analysis, branch_pcs, thresholds, source):
+    annotation = BinaryAnnotation(program.name)
+    for branch_pc in branch_pcs:
+        annotation.add(
+            _mark_with_iposdom(analysis, branch_pc, thresholds, source)
+        )
+    return annotation
+
+
+def select_every_br(program, profile, thresholds=None):
+    """Every-br: all profiled conditional branches become diverge branches."""
+    thresholds = thresholds or SelectionThresholds()
+    analysis = ProgramAnalysis(program, profile)
+    return _annotate(
+        program,
+        analysis,
+        analysis.executed_conditional_branches(),
+        thresholds,
+        "every-br",
+    )
+
+
+def select_random_50(program, profile, seed=0, fraction=0.5,
+                     thresholds=None):
+    """Random-50: a seeded random ``fraction`` of profiled branches."""
+    thresholds = thresholds or SelectionThresholds()
+    analysis = ProgramAnalysis(program, profile)
+    branches = analysis.executed_conditional_branches()
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(branches, int(len(branches) * fraction)))
+    return _annotate(program, analysis, chosen, thresholds, "random-50")
+
+
+def select_high_bp(program, profile, min_misp_rate=0.05, thresholds=None):
+    """High-BP-5: branches above ``min_misp_rate`` profiled misprediction."""
+    thresholds = thresholds or SelectionThresholds()
+    analysis = ProgramAnalysis(program, profile)
+    chosen = [
+        pc
+        for pc in analysis.executed_conditional_branches()
+        if profile.branch_profile.misprediction_rate(pc) > min_misp_rate
+    ]
+    return _annotate(program, analysis, chosen, thresholds, "high-bp-5")
+
+
+def select_immediate(program, profile, thresholds=None):
+    """Immediate: every profiled branch that has an IPOSDOM."""
+    thresholds = thresholds or SelectionThresholds()
+    analysis = ProgramAnalysis(program, profile)
+    chosen = [
+        pc
+        for pc in analysis.executed_conditional_branches()
+        if analysis.iposdom_pc(pc) is not None
+    ]
+    return _annotate(program, analysis, chosen, thresholds, "immediate")
+
+
+def select_if_else(program, profile, thresholds=None):
+    """If-else: only simple hammocks (no intervening control flow)."""
+    thresholds = thresholds or SelectionThresholds()
+    analysis = ProgramAnalysis(program, profile)
+    annotation = BinaryAnnotation(program.name)
+    for candidate in find_exact_candidates(analysis, thresholds):
+        if candidate.kind is not DivergeKind.SIMPLE_HAMMOCK:
+            continue
+        select_registers = analysis.select_registers_for_paths(
+            candidate.path_set, candidate.cfm_pcs
+        )
+        annotation.add(
+            DivergeBranch(
+                branch_pc=candidate.branch_pc,
+                kind=candidate.kind,
+                cfm_points=candidate.cfm_points,
+                select_registers=select_registers,
+                source="if-else",
+            )
+        )
+    return annotation
+
+
+def select_dual_path(program, profile):
+    """Selective dual-path execution (Heil & Smith [8]) as marks.
+
+    Every profiled conditional branch is marked with *no* CFM points:
+    on low confidence the processor forks fetch and stays in dpred-mode
+    until resolution — pure dual-path execution, the mechanism DMP
+    generalizes.  Used by the prior-work comparison, not by Figure 8.
+    """
+    analysis = ProgramAnalysis(program, profile)
+    annotation = BinaryAnnotation(program.name)
+    for branch_pc in analysis.executed_conditional_branches():
+        annotation.add(
+            DivergeBranch(
+                branch_pc=branch_pc,
+                kind=DivergeKind.FREQUENTLY_HAMMOCK,
+                cfm_points=(),
+                source="dual-path",
+            )
+        )
+    return annotation
+
+
+def select_dynamic_hammock(program, profile, max_hammock_insts=16):
+    """Dynamic hammock predication (Klauser et al. [15]) as marks.
+
+    Klauser et al. predicate only *simple* hammocks (no intervening
+    control flow) chosen by a size-based method: hammocks whose sides
+    are at most ``max_hammock_insts`` instructions.  DMP's Alg-exact +
+    Alg-freq generalize exactly this.
+    """
+    thresholds = SelectionThresholds().with_overrides(
+        max_instr=max_hammock_insts
+    )
+    analysis = ProgramAnalysis(program, profile)
+    annotation = BinaryAnnotation(program.name)
+    for candidate in find_exact_candidates(analysis, thresholds):
+        if candidate.kind is not DivergeKind.SIMPLE_HAMMOCK:
+            continue
+        select_registers = analysis.select_registers_for_paths(
+            candidate.path_set, candidate.cfm_pcs
+        )
+        annotation.add(
+            DivergeBranch(
+                branch_pc=candidate.branch_pc,
+                kind=candidate.kind,
+                cfm_points=candidate.cfm_points,
+                select_registers=select_registers,
+                source="dynamic-hammock",
+            )
+        )
+    return annotation
+
+
+#: Names Figure 8 uses, mapped to the implementations.
+SIMPLE_ALGORITHMS = {
+    "every-br": select_every_br,
+    "random-50": select_random_50,
+    "high-bp-5": select_high_bp,
+    "immediate": select_immediate,
+    "if-else": select_if_else,
+}

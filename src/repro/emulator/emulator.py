@@ -1,0 +1,208 @@
+"""The functional emulator and dynamic traces."""
+
+from dataclasses import dataclass
+
+from repro.errors import EmulationError
+from repro.isa.instructions import Opcode
+from repro.emulator.state import ArchState
+
+#: Shift amounts are masked to the register width, like real hardware.
+_SHIFT_MASK = 63
+
+#: 64-bit two's-complement bounds used to wrap arithmetic results.
+_WRAP = 1 << 64
+_SIGN = 1 << 63
+
+
+def _wrap64(value):
+    """Wrap a Python int to a signed 64-bit value."""
+    value &= _WRAP - 1
+    return value - _WRAP if value & _SIGN else value
+
+
+class DynamicInstruction:
+    """One retired dynamic instruction.
+
+    ``pc`` indexes the static program; ``next_pc`` is where control went
+    afterwards (for branches this encodes the taken/not-taken outcome);
+    ``address`` is the effective word address for loads/stores, else
+    ``None``.
+    """
+
+    __slots__ = ("pc", "next_pc", "address")
+
+    def __init__(self, pc, next_pc, address=None):
+        self.pc = pc
+        self.next_pc = next_pc
+        self.address = address
+
+    def taken(self):
+        """For control instructions: True if the fall-through was not used."""
+        return self.next_pc != self.pc + 1
+
+    def __repr__(self):
+        return f"DynamicInstruction(pc={self.pc}, next_pc={self.next_pc})"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a functional run."""
+
+    instruction_count: int
+    halted: bool
+    state: ArchState
+
+    @property
+    def hit_budget(self):
+        return not self.halted
+
+
+class Emulator:
+    """Executes a program against an :class:`ArchState`.
+
+    The emulator is deliberately strict: undefined situations (RET with
+    an empty stack, runaway recursion, falling off the end of a
+    function) raise :class:`~repro.errors.EmulationError` instead of
+    silently continuing, so workload-generator bugs surface immediately.
+    """
+
+    def __init__(self, program):
+        self.program = program
+
+    def run(self, state=None, max_instructions=1_000_000, trace=None,
+            on_branch=None):
+        """Run until ``HALT`` or the instruction budget.
+
+        Parameters
+        ----------
+        state:
+            Initial :class:`ArchState`; a fresh zeroed state if ``None``.
+        max_instructions:
+            Dynamic instruction budget (loop-protection and scale knob).
+        trace:
+            If a list, every retired :class:`DynamicInstruction` is
+            appended to it.
+        on_branch:
+            Optional callback ``(pc, taken)`` invoked for every retired
+            conditional branch — the profiler's hook, cheaper than a
+            full trace.
+        """
+        state = state if state is not None else ArchState()
+        program = self.program
+        instructions = program.instructions
+        pc = program.entry
+        count = 0
+        halted = False
+        record = trace.append if trace is not None else None
+
+        while count < max_instructions:
+            if not 0 <= pc < len(instructions):
+                raise EmulationError(f"pc out of range: {pc}")
+            inst = instructions[pc]
+            count += 1
+            op = inst.op
+            next_pc = pc + 1
+            address = None
+
+            if op is Opcode.HALT:
+                halted = True
+                if record is not None:
+                    record(DynamicInstruction(pc, pc))
+                break
+            if op is Opcode.BEQZ:
+                taken = state.regs[inst.src1] == 0
+                if taken:
+                    next_pc = inst.target
+                if on_branch is not None:
+                    on_branch(pc, taken)
+            elif op is Opcode.BNEZ:
+                taken = state.regs[inst.src1] != 0
+                if taken:
+                    next_pc = inst.target
+                if on_branch is not None:
+                    on_branch(pc, taken)
+            elif op is Opcode.JMP:
+                next_pc = inst.target
+            elif op is Opcode.CALL:
+                state.push_return(pc + 1)
+                next_pc = inst.target
+            elif op is Opcode.RET:
+                next_pc = state.pop_return()
+            elif op is Opcode.LD:
+                address = state.regs[inst.src1] + inst.imm
+                state.write_reg(inst.dest, state.load(address))
+            elif op is Opcode.ST:
+                address = state.regs[inst.src1] + inst.imm
+                state.store(address, state.regs[inst.src2])
+            elif op is Opcode.MOV:
+                state.write_reg(inst.dest, state.regs[inst.src1])
+            elif op is Opcode.MOVI:
+                state.write_reg(inst.dest, inst.imm)
+            elif op is Opcode.NOP:
+                pass
+            else:
+                self._execute_alu(state, inst)
+
+            if record is not None:
+                record(DynamicInstruction(pc, next_pc, address))
+            pc = next_pc
+
+        return RunResult(instruction_count=count, halted=halted, state=state)
+
+    @staticmethod
+    def _execute_alu(state, inst):
+        a = state.regs[inst.src1]
+        b = inst.imm if inst.src2 is None else state.regs[inst.src2]
+        op = inst.op
+        if op is Opcode.ADD:
+            result = _wrap64(a + b)
+        elif op is Opcode.SUB:
+            result = _wrap64(a - b)
+        elif op is Opcode.MUL:
+            result = _wrap64(a * b)
+        elif op is Opcode.DIV:
+            # Division by zero yields zero, like a trap handler returning
+            # a defined value; synthetic workloads must not crash the run.
+            result = 0 if b == 0 else int(a / b)
+        elif op is Opcode.AND:
+            result = a & b
+        elif op is Opcode.OR:
+            result = a | b
+        elif op is Opcode.XOR:
+            result = a ^ b
+        elif op is Opcode.SHL:
+            result = _wrap64(a << (b & _SHIFT_MASK))
+        elif op is Opcode.SHR:
+            result = (a % _WRAP) >> (b & _SHIFT_MASK)
+        elif op is Opcode.CMPLT:
+            result = int(a < b)
+        elif op is Opcode.CMPLE:
+            result = int(a <= b)
+        elif op is Opcode.CMPEQ:
+            result = int(a == b)
+        elif op is Opcode.CMPNE:
+            result = int(a != b)
+        elif op is Opcode.CMPGT:
+            result = int(a > b)
+        elif op is Opcode.CMPGE:
+            result = int(a >= b)
+        else:  # pragma: no cover - opcode set is closed
+            raise EmulationError(f"unhandled opcode {op}")
+        state.write_reg(inst.dest, result)
+
+
+def execute(program, memory=None, max_instructions=1_000_000,
+            collect_trace=True):
+    """Convenience wrapper: run ``program`` and return ``(trace, result)``.
+
+    ``memory`` pre-loads the sparse word memory (this is how workload
+    input sets are supplied).  When ``collect_trace`` is False the trace
+    is ``None`` and only the :class:`RunResult` matters.
+    """
+    trace = [] if collect_trace else None
+    emulator = Emulator(program)
+    state = ArchState(memory=memory)
+    result = emulator.run(
+        state=state, max_instructions=max_instructions, trace=trace
+    )
+    return trace, result

@@ -1,0 +1,54 @@
+"""Architectural state for functional execution."""
+
+from repro.errors import EmulationError
+from repro.isa.registers import NUM_REGISTERS, ZERO_REGISTER
+
+
+class ArchState:
+    """Registers, word-addressed memory, and the call stack.
+
+    Memory is a sparse ``dict`` mapping word address -> integer value;
+    uninitialized words read as zero.  The call stack holds return pcs
+    for ``CALL``/``RET`` (an architectural link stack — this keeps the
+    ISA minimal; the timing model separately models a return address
+    stack *predictor*).
+    """
+
+    __slots__ = ("regs", "memory", "call_stack")
+
+    def __init__(self, memory=None):
+        self.regs = [0] * NUM_REGISTERS
+        self.memory = dict(memory) if memory else {}
+        self.call_stack = []
+
+    def read_reg(self, index):
+        return self.regs[index]
+
+    def write_reg(self, index, value):
+        """Write a register; writes to the zero register are discarded."""
+        if index != ZERO_REGISTER:
+            self.regs[index] = value
+
+    def load(self, address):
+        return self.memory.get(address, 0)
+
+    def store(self, address, value):
+        self.memory[address] = value
+
+    def push_return(self, pc):
+        if len(self.call_stack) > 10_000:
+            raise EmulationError("call stack overflow (runaway recursion?)")
+        self.call_stack.append(pc)
+
+    def pop_return(self):
+        if not self.call_stack:
+            raise EmulationError("RET with empty call stack")
+        return self.call_stack.pop()
+
+    def copy(self):
+        """Deep-enough copy for checkpoint/restore in tests."""
+        clone = ArchState()
+        clone.regs = list(self.regs)
+        clone.memory = dict(self.memory)
+        clone.call_stack = list(self.call_stack)
+        return clone

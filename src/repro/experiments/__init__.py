@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(scale=..., benchmarks=...)`` returning a
+plain-dict result and ``format_result`` rendering the same rows/series
+the paper reports.  ``scale`` multiplies the benchmarks' dynamic trace
+length (1.0 ≈ 60k instructions per benchmark).
+
+Index (see DESIGN.md §4 and EXPERIMENTS.md):
+
+- :mod:`repro.experiments.table1` — machine configuration.
+- :mod:`repro.experiments.table2` — benchmark characteristics.
+- :mod:`repro.experiments.fig5` — selection algorithms (heuristics and
+  cost-benefit model).
+- :mod:`repro.experiments.fig6` — pipeline flushes.
+- :mod:`repro.experiments.fig7` — MAX_INSTR × MIN_MERGE_PROB sweep.
+- :mod:`repro.experiments.fig8` — simple selection baselines.
+- :mod:`repro.experiments.fig9` — input-set sensitivity (performance).
+- :mod:`repro.experiments.fig10` — input-set sensitivity (selection
+  overlap).
+"""
+
+from repro.experiments.runner import (
+    Artifacts,
+    clear_cache,
+    geometric_mean_speedup,
+    get_artifacts,
+    mean_speedup,
+    run_annotated,
+    run_baseline,
+    run_selection,
+)
+from repro.experiments.configs import CUMULATIVE_HEURISTICS, COST_CONFIGS, named_config
+
+__all__ = [
+    "Artifacts",
+    "clear_cache",
+    "get_artifacts",
+    "run_annotated",
+    "run_baseline",
+    "run_selection",
+    "mean_speedup",
+    "geometric_mean_speedup",
+    "CUMULATIVE_HEURISTICS",
+    "COST_CONFIGS",
+    "named_config",
+]

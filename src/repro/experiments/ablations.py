@@ -1,0 +1,172 @@
+"""Ablations of DESIGN.md's design choices (beyond the paper's figures).
+
+Four studies:
+
+- ``acc_conf``: cost-model sensitivity to the assumed Acc_Conf
+  (footnote 5 of the paper: performance should be stable over 20-50%).
+- ``max_cfm``: how many CFM points per diverge branch are needed
+  (§3.3: the paper found 3 is enough; Table 2 shows ~1 used on
+  average).
+- ``confidence_threshold``: the runtime JRS gate — a low threshold
+  predicates rarely (missed coverage), 14-15 covers most
+  mispredictions.
+- ``easy_branch_filter``: the §8.3 future-work extension — excluding
+  always-easy branches from selection; it should cost little or help
+  (notably where the fixed Acc_Conf=40% assumption over-predicates
+  predictable codes).
+"""
+
+from repro.core import SelectionConfig
+from repro.core.cost_model import CostModelParams
+from repro.core.thresholds import SelectionThresholds
+from repro.experiments.report import percent, render_table
+from repro.experiments.runner import (
+    DEFAULT_BENCHMARKS,
+    mean_speedup,
+    run_baseline,
+    run_selection,
+)
+from repro.uarch import ProcessorConfig
+
+
+def _sweep(configs, scale, benchmarks, processor_configs=None):
+    """Mean speedup for each (label, SelectionConfig) pair."""
+    means = {}
+    for i, (label, config) in enumerate(configs):
+        processor = (
+            processor_configs[i] if processor_configs else None
+        )
+        speedups = []
+        for name in benchmarks:
+            baseline = run_baseline(name, scale=scale, config=processor)
+            stats, _ = run_selection(
+                name, config, scale=scale, config=processor
+            )
+            speedups.append(stats.speedup_over(baseline))
+        means[label] = mean_speedup(speedups)
+    return means
+
+
+def run_acc_conf(scale=1.0, benchmarks=None,
+                 values=(0.15, 0.20, 0.30, 0.40, 0.50)):
+    """Cost-model Acc_Conf sweep (paper footnote 5)."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    configs = [
+        (
+            f"acc={value:.2f}",
+            SelectionConfig(
+                cost_model="edge",
+                cost_params=CostModelParams(acc_conf=value),
+                name=f"cost-acc{int(value * 100)}",
+            ),
+        )
+        for value in values
+    ]
+    means = _sweep(configs, scale, benchmarks)
+    return {"means": means, "kind": "acc_conf", "scale": scale}
+
+
+def run_max_cfm(scale=1.0, benchmarks=None, values=(1, 2, 3)):
+    """MAX_CFM ablation (§3.3 / Table 1's 3 CFM registers)."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    configs = [
+        (
+            f"max_cfm={value}",
+            SelectionConfig(
+                thresholds=SelectionThresholds().with_overrides(
+                    max_cfm=value
+                ),
+                enable_short=True,
+                enable_return_cfm=True,
+                enable_loop=True,
+                name=f"maxcfm{value}",
+            ),
+        )
+        for value in values
+    ]
+    means = _sweep(configs, scale, benchmarks)
+    return {"means": means, "kind": "max_cfm", "scale": scale}
+
+
+def run_confidence_threshold(scale=1.0, benchmarks=None,
+                             values=(6, 10, 14, 15)):
+    """Runtime JRS threshold sweep (Table 1 uses 14)."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    selection = SelectionConfig.all_best_heur()
+    configs = [(f"threshold={v}", selection) for v in values]
+    processors = [
+        ProcessorConfig(confidence_threshold=v) for v in values
+    ]
+    means = _sweep(configs, scale, benchmarks,
+                   processor_configs=processors)
+    return {"means": means, "kind": "confidence_threshold", "scale": scale}
+
+
+def run_per_app_acc_conf(scale=1.0, benchmarks=None):
+    """§4.1's per-application Acc_Conf vs the fixed 40% assumption."""
+    from dataclasses import replace
+
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    fixed = SelectionConfig.all_best_cost()
+    configs = [
+        ("acc_conf=fixed-40%", fixed),
+        ("acc_conf=measured",
+         replace(fixed, per_app_acc_conf=True,
+                 name="all-best-cost-perapp")),
+    ]
+    means = _sweep(configs, scale, benchmarks)
+    return {"means": means, "kind": "per_app_acc_conf", "scale": scale}
+
+
+def run_predictor_sensitivity(scale=1.0, benchmarks=None,
+                              kinds=("bimodal", "gshare", "tournament",
+                                     "perceptron")):
+    """DMP benefit under different baseline predictors.
+
+    The premise check: a better predictor leaves fewer mispredictions,
+    so DMP's *relative* benefit should shrink as the predictor improves
+    — but stay positive (hard branches remain hard under any history
+    predictor).
+    """
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    selection = SelectionConfig.all_best_heur()
+    configs = [(f"predictor={kind}", selection) for kind in kinds]
+    processors = [ProcessorConfig(predictor_kind=kind) for kind in kinds]
+    means = _sweep(configs, scale, benchmarks,
+                   processor_configs=processors)
+    return {"means": means, "kind": "predictor_sensitivity",
+            "scale": scale}
+
+
+def run_easy_branch_filter(scale=1.0, benchmarks=None,
+                           floors=(0.0, 0.01, 0.03)):
+    """§8.3 extension: drop always-easy branches from selection."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    configs = []
+    for floor in floors:
+        base = SelectionConfig.all_best_cost()
+        configs.append(
+            (
+                f"min_misp={floor:.2f}",
+                SelectionConfig(
+                    enable_short=base.enable_short,
+                    enable_return_cfm=base.enable_return_cfm,
+                    enable_loop=base.enable_loop,
+                    cost_model=base.cost_model,
+                    min_misp_rate=floor,
+                    name=f"cost-floor{int(floor * 100)}",
+                ),
+            )
+        )
+    means = _sweep(configs, scale, benchmarks)
+    return {"means": means, "kind": "easy_branch_filter", "scale": scale}
+
+
+def format_result(result):
+    rows = [(label, percent(value))
+            for label, value in result["means"].items()]
+    return render_table(
+        ["Configuration", "Mean speedup"],
+        rows,
+        title=f"Ablation: {result['kind']}",
+    )

@@ -1,0 +1,71 @@
+"""ASCII bar charts for the figure harnesses.
+
+The paper presents Figures 5-10 as bar charts; ``python -m repro fig5
+--chart`` renders the same data as horizontal text bars, which reads
+better than a table when eyeballing shapes in a terminal.
+"""
+
+
+def horizontal_bars(items, width=46, fmt="{:+.1%}", title=None):
+    """Render ``(label, value)`` pairs as horizontal bars.
+
+    Negative values extend left of the axis; the scale is chosen from
+    the largest magnitude.
+    """
+    items = list(items)
+    if not items:
+        return title or ""
+    label_width = max(len(str(label)) for label, _ in items)
+    largest = max(abs(value) for _, value in items) or 1.0
+    # split the width between negative and positive lobes
+    has_negative = any(value < 0 for _, value in items)
+    neg_width = width // 3 if has_negative else 0
+    pos_width = width - neg_width
+    lines = [title] if title else []
+    for label, value in items:
+        if value >= 0:
+            filled = int(round(value / largest * pos_width))
+            bar = " " * neg_width + "|" + "#" * filled
+        else:
+            filled = int(round(-value / largest * neg_width))
+            bar = " " * (neg_width - filled) + "#" * filled + "|"
+        lines.append(
+            f"{str(label).ljust(label_width)}  "
+            f"{fmt.format(value).rjust(7)}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_series_chart(benchmarks, series, values, fmt="{:+.1%}",
+                         title=None):
+    """One bar block per benchmark, one bar per series.
+
+    ``values[series][benchmark]`` → value, matching the figure-harness
+    result dictionaries.
+    """
+    blocks = [title] if title else []
+    for name in benchmarks:
+        items = [(s, values[s][name]) for s in series]
+        blocks.append(horizontal_bars(items, title=f"-- {name} --",
+                                      fmt=fmt))
+    return "\n".join(blocks)
+
+
+def chart_speedup_result(result, title):
+    """Chart a fig5/fig8/fig9-shaped result (speedups + means)."""
+    mean_items = [
+        (series, result["means"][series]) for series in result["series"]
+    ]
+    return horizontal_bars(
+        mean_items, title=f"{title} (suite means)"
+    )
+
+
+def chart_flush_result(result, title):
+    """Chart a fig6-shaped result (flushes per kilo-instruction)."""
+    mean_items = [
+        (series, result["means"][series]) for series in result["series"]
+    ]
+    return horizontal_bars(
+        mean_items, fmt="{:.2f}", title=f"{title} (flushes/ki, means)"
+    )

@@ -1,0 +1,65 @@
+"""Figure 6: pipeline flushes due to branch mispredictions.
+
+Flushes per kilo-instruction in the baseline and in DMP as the
+selection techniques are added cumulatively — the paper's evidence
+that the selected diverge branches actually remove flushes.
+"""
+
+from repro.experiments.configs import CUMULATIVE_HEURISTICS
+from repro.experiments.report import render_table
+from repro.experiments.runner import (
+    DEFAULT_BENCHMARKS,
+    run_baseline,
+    run_selection,
+)
+
+
+def run(scale=1.0, benchmarks=None):
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    labels = ["baseline"] + [label for label, _ in CUMULATIVE_HEURISTICS]
+    flushes = {label: {} for label in labels}
+    for name in benchmarks:
+        baseline = run_baseline(name, scale=scale)
+        flushes["baseline"][name] = baseline.flushes_per_kilo_inst
+        for label, config in CUMULATIVE_HEURISTICS:
+            stats, _ = run_selection(name, config, scale=scale)
+            flushes[label][name] = stats.flushes_per_kilo_inst
+    means = {
+        label: sum(per.values()) / len(per) for label, per in flushes.items()
+    }
+    return {
+        "benchmarks": list(benchmarks),
+        "series": labels,
+        "flushes_per_ki": flushes,
+        "means": means,
+        "scale": scale,
+    }
+
+
+def format_result(result):
+    headers = ["Benchmark"] + result["series"]
+    rows = []
+    for name in result["benchmarks"]:
+        rows.append(
+            [name]
+            + [
+                f"{result['flushes_per_ki'][s][name]:.2f}"
+                for s in result["series"]
+            ]
+        )
+    rows.append(
+        ["MEAN"] + [f"{result['means'][s]:.2f}" for s in result["series"]]
+    )
+    return render_table(
+        headers,
+        rows,
+        title="Figure 6. Pipeline flushes per kilo-instruction",
+    )
+
+
+def main():
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) if i else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(value):
+    """Format a speedup fraction as a percentage string."""
+    return f"{value * 100:+.1f}%"

@@ -1,0 +1,135 @@
+"""Shared benchmark running and caching for the experiment harnesses.
+
+The expensive artifacts — functional traces and profiles — are cached
+per (benchmark, input set, scale), so running several figures in one
+process (e.g. the benchmark suite) profiles each workload once.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.core import DivergeSelector
+from repro.emulator import execute
+from repro.profiling import Profiler
+from repro.uarch import TimingSimulator
+from repro.workloads import BENCHMARK_NAMES, load_benchmark
+
+#: Default benchmark list: the paper's 12 SPEC2000 + 5 SPEC95 programs.
+DEFAULT_BENCHMARKS = BENCHMARK_NAMES
+
+
+@dataclass
+class Artifacts:
+    """Everything one (benchmark, input set) needs for experiments."""
+
+    workload: object
+    trace: list
+    profile: object
+
+    @property
+    def program(self):
+        return self.workload.program
+
+
+_artifact_cache = {}
+_baseline_cache = {}
+
+
+def clear_cache():
+    """Drop all cached traces/profiles/baselines (frees memory)."""
+    _artifact_cache.clear()
+    _baseline_cache.clear()
+
+
+def get_artifacts(name, input_set="reduced", scale=1.0):
+    """Load, execute, and profile one benchmark (cached)."""
+    key = (name, input_set, scale)
+    cached = _artifact_cache.get(key)
+    if cached is not None:
+        return cached
+    workload = load_benchmark(name, input_set=input_set, scale=scale)
+    trace, result = execute(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    if not result.halted:
+        raise RuntimeError(
+            f"benchmark {name!r} did not halt within its budget"
+        )
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    artifacts = Artifacts(workload=workload, trace=trace, profile=profile)
+    _artifact_cache[key] = artifacts
+    return artifacts
+
+
+def run_baseline(name, input_set="reduced", scale=1.0, config=None):
+    """Simulate the baseline (no DMP) processor on one benchmark (cached)."""
+    key = (name, input_set, scale, id(config) if config else None)
+    cached = _baseline_cache.get(key)
+    if cached is not None:
+        return cached
+    artifacts = get_artifacts(name, input_set, scale)
+    simulator = TimingSimulator(artifacts.program, config=config)
+    stats = simulator.run(artifacts.trace, label=f"{name}/baseline")
+    _baseline_cache[key] = stats
+    return stats
+
+
+def run_annotated(name, annotation, input_set="reduced", scale=1.0,
+                  config=None, label=""):
+    """Simulate DMP with a prepared annotation on one benchmark."""
+    artifacts = get_artifacts(name, input_set, scale)
+    simulator = TimingSimulator(
+        artifacts.program, config=config, annotation=annotation
+    )
+    return simulator.run(
+        artifacts.trace, label=label or f"{name}/dmp"
+    )
+
+
+def run_selection(name, selection_config, input_set="reduced",
+                  profile_input_set=None, scale=1.0, config=None):
+    """Profile → select → simulate for one benchmark.
+
+    ``profile_input_set`` lets the §7.3 experiments profile on one input
+    set while running on another; it defaults to the run input set.
+    Returns ``(stats, annotation)``.
+    """
+    profile_set = profile_input_set or input_set
+    run_artifacts = get_artifacts(name, input_set, scale)
+    profile_artifacts = get_artifacts(name, profile_set, scale)
+    selector = DivergeSelector(
+        run_artifacts.program, profile_artifacts.profile, selection_config
+    )
+    annotation = selector.select()
+    stats = run_annotated(
+        name,
+        annotation,
+        input_set=input_set,
+        scale=scale,
+        config=config,
+        label=f"{name}/{selection_config.name}",
+    )
+    return stats, annotation
+
+
+def mean_speedup(speedups):
+    """Arithmetic mean of per-benchmark speedups (paper-style average)."""
+    values = list(speedups)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean_speedup(speedups):
+    """Geometric mean over speedup *factors* (reported for reference)."""
+    values = list(speedups)
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(1.0 + s) for s in values)
+    return math.exp(log_sum / len(values)) - 1.0

@@ -1,0 +1,33 @@
+"""A small RISC instruction set used by the reproduction.
+
+The ISA plays the role the Alpha ISA plays in the paper: a compilation
+target whose binaries the binary-analysis toolset (:mod:`repro.cfg`,
+:mod:`repro.core`) inspects and whose execution the functional emulator
+(:mod:`repro.emulator`) and the timing simulator (:mod:`repro.uarch`)
+model.  Programs are sequences of :class:`Instruction` objects addressed
+by index (the "pc"); control transfers name instruction indices.
+"""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REG_NAMES,
+    ZERO_REGISTER,
+    register_name,
+)
+from repro.isa.program import Function, Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "NUM_REGISTERS",
+    "REG_NAMES",
+    "ZERO_REGISTER",
+    "register_name",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+]

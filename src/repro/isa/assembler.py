@@ -1,0 +1,186 @@
+"""A small text assembler.
+
+Gives tests and examples a readable way to author programs.  Syntax::
+
+    .func main
+        movi r1, 5
+        cmpeq r2, r1, 5      ; immediate second operand
+        bnez r2, taken
+        add  r3, r3, r1      ; register second operand
+    taken:
+        call helper
+        halt
+    .endfunc
+
+    .func helper
+        ret
+    .endfunc
+
+Comments start with ``;`` or ``#``.  Loads/stores use ``offset(rN)``
+addressing: ``ld r1, 8(r2)`` / ``st r1, 0(r2)`` (store value first).
+Branch targets are labels local to the program; call targets are
+function names.
+"""
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.builder import ProgramBuilder
+
+_REGISTER_RE = re.compile(r"^r(\d+)$")
+_MEMORY_RE = re.compile(r"^(-?\d+)\((r\d+)\)$")
+
+#: ALU mnemonics the assembler accepts (dest, src1, reg-or-imm).
+_ALU_MNEMONICS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "shr",
+        "cmplt",
+        "cmple",
+        "cmpeq",
+        "cmpne",
+        "cmpgt",
+        "cmpge",
+    }
+)
+
+#: Map from assembler mnemonic to ProgramBuilder method name where the
+#: two differ (python keywords can't be method names).
+_BUILDER_METHOD = {"and": "and_", "or": "or_"}
+
+#: Immediate-only convenience aliases: ``addi r1, r2, 4`` == ``add r1, r2, 4``.
+_IMMEDIATE_ALIASES = {"addi": "add", "subi": "sub"}
+
+
+def _parse_register(token, line_no):
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_int(token, line_no):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: expected integer, got {token!r}"
+        ) from None
+
+
+def _split_operands(rest):
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def assemble(text, name="program"):
+    """Assemble ``text`` into a :class:`repro.isa.Program`."""
+    builder = ProgramBuilder(name)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".func"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblerError(f"line {line_no}: malformed .func")
+            builder.begin_function(parts[1])
+            continue
+        if line == ".endfunc":
+            builder.end_function()
+            continue
+        if line.endswith(":"):
+            builder.label(line[:-1].strip())
+            continue
+        _assemble_instruction(builder, line, line_no)
+    return builder.build()
+
+
+def _assemble_instruction(builder, line, line_no):
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+
+    if mnemonic in _IMMEDIATE_ALIASES:
+        if len(operands) != 3 or _REGISTER_RE.match(operands[2]):
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} needs dest, src, immediate"
+            )
+        mnemonic = _IMMEDIATE_ALIASES[mnemonic]
+    if mnemonic in _ALU_MNEMONICS:
+        if len(operands) != 3:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} needs 3 operands"
+            )
+        dest = _parse_register(operands[0], line_no)
+        src1 = _parse_register(operands[1], line_no)
+        method = getattr(
+            builder, _BUILDER_METHOD.get(mnemonic, mnemonic)
+        )
+        if _REGISTER_RE.match(operands[2]):
+            method(dest, src1, _parse_register(operands[2], line_no))
+        else:
+            method(dest, src1, imm=_parse_int(operands[2], line_no))
+    elif mnemonic == "mov":
+        _expect(operands, 2, mnemonic, line_no)
+        builder.mov(
+            _parse_register(operands[0], line_no),
+            _parse_register(operands[1], line_no),
+        )
+    elif mnemonic == "movi":
+        _expect(operands, 2, mnemonic, line_no)
+        builder.movi(
+            _parse_register(operands[0], line_no),
+            _parse_int(operands[1], line_no),
+        )
+    elif mnemonic == "ld":
+        _expect(operands, 2, mnemonic, line_no)
+        dest = _parse_register(operands[0], line_no)
+        offset, base = _parse_memory(operands[1], line_no)
+        builder.ld(dest, base, offset)
+    elif mnemonic == "st":
+        _expect(operands, 2, mnemonic, line_no)
+        value = _parse_register(operands[0], line_no)
+        offset, base = _parse_memory(operands[1], line_no)
+        builder.st(value, base, offset)
+    elif mnemonic in ("beqz", "bnez"):
+        _expect(operands, 2, mnemonic, line_no)
+        cond = _parse_register(operands[0], line_no)
+        getattr(builder, mnemonic)(cond, operands[1])
+    elif mnemonic == "jmp":
+        _expect(operands, 1, mnemonic, line_no)
+        builder.jmp(operands[0])
+    elif mnemonic == "call":
+        _expect(operands, 1, mnemonic, line_no)
+        builder.call(operands[0])
+    elif mnemonic in ("ret", "halt", "nop"):
+        _expect(operands, 0, mnemonic, line_no)
+        getattr(builder, mnemonic)()
+    else:
+        raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def _expect(operands, count, mnemonic, line_no):
+    if len(operands) != count:
+        raise AssemblerError(
+            f"line {line_no}: {mnemonic} needs {count} operands, "
+            f"got {len(operands)}"
+        )
+
+
+def _parse_memory(token, line_no):
+    match = _MEMORY_RE.match(token)
+    if not match:
+        raise AssemblerError(
+            f"line {line_no}: expected offset(rN) addressing, got {token!r}"
+        )
+    offset = int(match.group(1))
+    base = _parse_register(match.group(2), line_no)
+    return offset, base

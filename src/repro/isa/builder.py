@@ -1,0 +1,220 @@
+"""Programmatic program construction with symbolic labels.
+
+:class:`ProgramBuilder` is how the synthetic workload generator and the
+tests author programs.  Control-flow targets are symbolic: branch/jump
+targets name labels, call targets name functions; both are resolved to
+absolute instruction indices at :meth:`ProgramBuilder.build` time.
+
+Example
+-------
+>>> b = ProgramBuilder("demo")
+>>> b.begin_function("main")
+>>> b.movi(1, 5)
+>>> b.beqz(1, "skip")
+>>> b.addi(2, 2, imm=1)
+>>> b.label("skip")
+>>> b.halt()
+>>> b.end_function()
+>>> program = b.build()
+"""
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Function, Program
+
+
+class _PendingInstruction:
+    """An emitted instruction whose target may still be symbolic."""
+
+    __slots__ = ("inst", "symbol", "is_call")
+
+    def __init__(self, inst, symbol=None, is_call=False):
+        self.inst = inst
+        self.symbol = symbol
+        self.is_call = is_call
+
+
+class ProgramBuilder:
+    """Accumulates instructions and resolves labels into a Program."""
+
+    def __init__(self, name="program"):
+        self.name = name
+        self._pending = []
+        self._labels = {}
+        self._functions = []
+        self._open_function = None
+        self._label_counter = 0
+
+    # -- structure -------------------------------------------------------
+
+    def begin_function(self, name):
+        """Open a new function; all code until ``end_function`` is in it."""
+        if self._open_function is not None:
+            raise AssemblerError(
+                f"cannot open function {name!r}: "
+                f"{self._open_function[0]!r} is still open"
+            )
+        self._open_function = (name, len(self._pending))
+        return self
+
+    def end_function(self):
+        """Close the currently open function."""
+        if self._open_function is None:
+            raise AssemblerError("no function is open")
+        name, start = self._open_function
+        end = len(self._pending)
+        if end == start:
+            raise AssemblerError(f"function {name!r} is empty")
+        self._functions.append(Function(name, start, end))
+        self._open_function = None
+        return self
+
+    def label(self, name):
+        """Bind label ``name`` to the next instruction emitted."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._pending)
+        return self
+
+    def fresh_label(self, hint="L"):
+        """Return a unique label name (not yet bound)."""
+        self._label_counter += 1
+        return f"{hint}_{self._label_counter}"
+
+    @property
+    def here(self):
+        """Index the next emitted instruction will occupy."""
+        return len(self._pending)
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit(self, inst, symbol=None, is_call=False):
+        if self._open_function is None:
+            raise AssemblerError("instruction emitted outside any function")
+        self._pending.append(_PendingInstruction(inst, symbol, is_call))
+        return self
+
+    def _alu(self, op, dest, src1, src2=None, imm=None):
+        return self._emit(
+            Instruction(op=op, dest=dest, src1=src1, src2=src2, imm=imm)
+        )
+
+    def add(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.ADD, dest, src1, src2, imm)
+
+    def addi(self, dest, src1, imm):
+        return self._alu(Opcode.ADD, dest, src1, imm=imm)
+
+    def sub(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.SUB, dest, src1, src2, imm)
+
+    def mul(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.MUL, dest, src1, src2, imm)
+
+    def div(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.DIV, dest, src1, src2, imm)
+
+    def and_(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.AND, dest, src1, src2, imm)
+
+    def or_(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.OR, dest, src1, src2, imm)
+
+    def xor(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.XOR, dest, src1, src2, imm)
+
+    def shl(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.SHL, dest, src1, src2, imm)
+
+    def shr(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.SHR, dest, src1, src2, imm)
+
+    def cmplt(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPLT, dest, src1, src2, imm)
+
+    def cmple(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPLE, dest, src1, src2, imm)
+
+    def cmpeq(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPEQ, dest, src1, src2, imm)
+
+    def cmpne(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPNE, dest, src1, src2, imm)
+
+    def cmpgt(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPGT, dest, src1, src2, imm)
+
+    def cmpge(self, dest, src1, src2=None, imm=None):
+        return self._alu(Opcode.CMPGE, dest, src1, src2, imm)
+
+    def mov(self, dest, src):
+        return self._emit(Instruction(op=Opcode.MOV, dest=dest, src1=src))
+
+    def movi(self, dest, imm):
+        return self._emit(Instruction(op=Opcode.MOVI, dest=dest, imm=imm))
+
+    def ld(self, dest, base, offset=0):
+        return self._emit(
+            Instruction(op=Opcode.LD, dest=dest, src1=base, imm=offset)
+        )
+
+    def st(self, value, base, offset=0):
+        return self._emit(
+            Instruction(op=Opcode.ST, src1=base, src2=value, imm=offset)
+        )
+
+    def beqz(self, cond, label):
+        return self._emit(
+            Instruction(op=Opcode.BEQZ, src1=cond, target=0, label=label),
+            symbol=label,
+        )
+
+    def bnez(self, cond, label):
+        return self._emit(
+            Instruction(op=Opcode.BNEZ, src1=cond, target=0, label=label),
+            symbol=label,
+        )
+
+    def jmp(self, label):
+        return self._emit(
+            Instruction(op=Opcode.JMP, target=0, label=label), symbol=label
+        )
+
+    def call(self, function_name):
+        return self._emit(
+            Instruction(op=Opcode.CALL, target=0, label=function_name),
+            symbol=function_name,
+            is_call=True,
+        )
+
+    def ret(self):
+        return self._emit(Instruction(op=Opcode.RET))
+
+    def halt(self):
+        return self._emit(Instruction(op=Opcode.HALT))
+
+    def nop(self):
+        return self._emit(Instruction(op=Opcode.NOP))
+
+    # -- resolution ---------------------------------------------------------
+
+    def build(self):
+        """Resolve all symbols and return the finished :class:`Program`."""
+        if self._open_function is not None:
+            raise AssemblerError(
+                f"function {self._open_function[0]!r} was never closed"
+            )
+        entries = {f.name: f.start for f in self._functions}
+        instructions = []
+        for pending in self._pending:
+            inst = pending.inst
+            if pending.symbol is not None:
+                table = entries if pending.is_call else self._labels
+                kind = "function" if pending.is_call else "label"
+                if pending.symbol not in table:
+                    raise AssemblerError(
+                        f"undefined {kind} {pending.symbol!r}"
+                    )
+                inst = inst.retarget(table[pending.symbol])
+            instructions.append(inst)
+        return Program(instructions, self._functions, name=self.name)

@@ -1,0 +1,149 @@
+"""Binary instruction encoding.
+
+Fixed 64-bit little-endian words, one per instruction:
+
+=======  ========  =====================================================
+bits     field     meaning
+=======  ========  =====================================================
+0-7      opcode    index into the opcode table
+8-15     dest      destination register (0xFF when unused)
+16-23    src1      first source / base / condition (0xFF when unused)
+24-31    src2      second source / store value (0xFF when unused)
+32-63    operand   immediate or branch target (two's complement 32-bit)
+=======  ========  =====================================================
+
+The `operand` field holds the immediate for ALU/MOVI/LD/ST and the
+absolute instruction index for control flow.  A one-bit flag is not
+needed to disambiguate: the opcode determines the interpretation, and
+ALU opcodes with a register ``src2`` store ``OPERAND_NONE``.
+
+A *program image* is::
+
+    magic "DMPB" | version u16 | function count u16
+    per function: name length u16 | name utf-8 | start u32 | end u32
+    instruction count u32
+    instruction words ...
+
+This gives the reproduction a real "binary" for the binary-analysis
+toolset to chew on (paper §6.1) and lets programs round-trip through
+files.
+"""
+
+import struct
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Function, Program
+
+MAGIC = b"DMPB"
+VERSION = 1
+
+#: Stable opcode numbering (append-only for format stability).
+_OPCODE_TABLE = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.CMPLT,
+    Opcode.CMPLE, Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPGT,
+    Opcode.CMPGE, Opcode.MOV, Opcode.MOVI, Opcode.LD, Opcode.ST,
+    Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL, Opcode.RET,
+    Opcode.NOP, Opcode.HALT,
+)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODE_TABLE)}
+
+_REG_NONE = 0xFF
+_OPERAND_NONE = 0x7FFFFFFF  # sentinel: "no operand"
+
+_WORD = struct.Struct("<BBBBi")
+
+
+def encode_instruction(inst):
+    """Encode one instruction to its 8-byte word."""
+    operand = _OPERAND_NONE
+    if inst.target is not None:
+        operand = inst.target
+    elif inst.imm is not None:
+        operand = inst.imm
+        if operand == _OPERAND_NONE:
+            raise AssemblerError(
+                "immediate 0x7FFFFFFF collides with the no-operand "
+                "sentinel and cannot be encoded"
+            )
+    if not -(1 << 31) <= operand < (1 << 31):
+        raise AssemblerError(
+            f"immediate {operand} does not fit the 32-bit operand field"
+        )
+    return _WORD.pack(
+        _OPCODE_INDEX[inst.op],
+        _REG_NONE if inst.dest is None else inst.dest,
+        _REG_NONE if inst.src1 is None else inst.src1,
+        _REG_NONE if inst.src2 is None else inst.src2,
+        operand,
+    )
+
+
+def decode_instruction(word):
+    """Decode one 8-byte word back into an :class:`Instruction`."""
+    opcode_index, dest, src1, src2, operand = _WORD.unpack(word)
+    try:
+        op = _OPCODE_TABLE[opcode_index]
+    except IndexError:
+        raise AssemblerError(f"unknown opcode index {opcode_index}") \
+            from None
+    dest = None if dest == _REG_NONE else dest
+    src1 = None if src1 == _REG_NONE else src1
+    src2 = None if src2 == _REG_NONE else src2
+    imm = None
+    target = None
+    if op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL):
+        target = operand
+    elif operand != _OPERAND_NONE:
+        imm = operand
+    return Instruction(
+        op=op, dest=dest, src1=src1, src2=src2, imm=imm, target=target
+    )
+
+
+def encode_program(program):
+    """Serialize a whole program to a binary image."""
+    parts = [MAGIC, struct.pack("<HH", VERSION, len(program.functions))]
+    for function in program.functions:
+        name = function.name.encode()
+        parts.append(struct.pack("<H", len(name)))
+        parts.append(name)
+        parts.append(struct.pack("<II", function.start, function.end))
+    parts.append(struct.pack("<I", len(program)))
+    for inst in program.instructions:
+        parts.append(encode_instruction(inst))
+    return b"".join(parts)
+
+
+def decode_program(blob, name="binary"):
+    """Deserialize a program image produced by :func:`encode_program`."""
+    if blob[:4] != MAGIC:
+        raise AssemblerError("not a DMPB program image")
+    offset = 4
+    version, num_functions = struct.unpack_from("<HH", blob, offset)
+    offset += 4
+    if version != VERSION:
+        raise AssemblerError(f"unsupported image version {version}")
+    functions = []
+    for _ in range(num_functions):
+        (name_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        func_name = blob[offset:offset + name_len].decode()
+        offset += name_len
+        start, end = struct.unpack_from("<II", blob, offset)
+        offset += 8
+        functions.append(Function(func_name, start, end))
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    instructions = []
+    for _ in range(count):
+        instructions.append(
+            decode_instruction(blob[offset:offset + _WORD.size])
+        )
+        offset += _WORD.size
+    if offset != len(blob):
+        raise AssemblerError(
+            f"trailing bytes in program image ({len(blob) - offset})"
+        )
+    return Program(instructions, functions, name=name)

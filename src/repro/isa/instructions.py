@@ -1,0 +1,292 @@
+"""Instruction and opcode definitions.
+
+Opcodes are grouped by behaviour:
+
+- ALU ops take a destination and two sources; the second source is either
+  a register (``src2``) or an immediate (``imm``), never both.
+- ``LD``/``ST`` address memory as ``base register + immediate offset``;
+  memory is word-addressed.
+- ``BEQZ``/``BNEZ`` are the conditional branches: they test one register
+  against zero and jump to an absolute instruction index.
+- ``JMP`` is an unconditional direct jump; ``CALL``/``RET`` use an
+  architectural return-address stack (the emulator's call stack).
+- ``HALT`` terminates the program; ``NOP`` does nothing.
+
+Comparison ALU ops (``CMPLT`` etc.) produce 0/1, so a branch condition is
+typically computed by a compare followed by ``BNEZ``.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.registers import check_register
+
+
+class Opcode(enum.Enum):
+    """Every operation the ISA defines."""
+
+    # ALU, register/immediate second operand.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    # Data movement.
+    MOV = "mov"
+    MOVI = "movi"
+    # Memory.
+    LD = "ld"
+    ST = "st"
+    # Control flow.
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: ALU opcodes (dest, src1, src2-or-imm).
+ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+    }
+)
+
+#: Comparison opcodes — a subset of the ALU opcodes producing 0/1.
+COMPARE_OPCODES = frozenset(
+    {
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+    }
+)
+
+#: Conditional branch opcodes.
+COND_BRANCH_OPCODES = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+
+#: All opcodes that may redirect control flow.
+CONTROL_OPCODES = frozenset(
+    {Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL, Opcode.RET}
+)
+
+#: Execution latency in cycles, by opcode, used by the timing model.
+#: Loads are listed at their L1-hit latency; the memory hierarchy adds
+#: miss penalties on top.
+LATENCIES = {
+    Opcode.MUL: 4,
+    Opcode.DIV: 12,
+    Opcode.LD: 2,
+    Opcode.ST: 1,
+}
+
+DEFAULT_LATENCY = 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``target`` is an absolute instruction index for ``BEQZ``/``BNEZ``/
+    ``JMP``/``CALL``.  ``dest``/``src1``/``src2`` are register indices;
+    ``imm`` is an integer immediate.  Unused fields stay ``None``.
+    ``label`` is an optional symbolic name attached by the builder /
+    assembler for readable disassembly.
+    """
+
+    op: Opcode
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[int] = None
+    label: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        self._validate()
+
+    def _validate(self):
+        op = self.op
+        if op in ALU_OPCODES:
+            check_register(self.dest, "dest")
+            check_register(self.src1, "src1")
+            has_reg = self.src2 is not None
+            has_imm = self.imm is not None
+            if has_reg == has_imm:
+                raise ValueError(
+                    f"{op.value}: exactly one of src2/imm must be set"
+                )
+            if has_reg:
+                check_register(self.src2, "src2")
+        elif op is Opcode.MOV:
+            check_register(self.dest, "dest")
+            check_register(self.src1, "src1")
+        elif op is Opcode.MOVI:
+            check_register(self.dest, "dest")
+            if self.imm is None:
+                raise ValueError("movi requires an immediate")
+        elif op is Opcode.LD:
+            check_register(self.dest, "dest")
+            check_register(self.src1, "base")
+            if self.imm is None:
+                raise ValueError("ld requires an offset immediate")
+        elif op is Opcode.ST:
+            check_register(self.src1, "base")
+            check_register(self.src2, "value")
+            if self.imm is None:
+                raise ValueError("st requires an offset immediate")
+        elif op in COND_BRANCH_OPCODES:
+            check_register(self.src1, "condition")
+            if self.target is None:
+                raise ValueError(f"{op.value} requires a target")
+        elif op in (Opcode.JMP, Opcode.CALL):
+            if self.target is None:
+                raise ValueError(f"{op.value} requires a target")
+        elif op in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+            pass
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown opcode: {op}")
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_conditional_branch(self):
+        """True for ``BEQZ``/``BNEZ``."""
+        return self.op in COND_BRANCH_OPCODES
+
+    @property
+    def is_control(self):
+        """True for any instruction that may redirect the pc."""
+        return self.op in CONTROL_OPCODES
+
+    @property
+    def is_call(self):
+        return self.op is Opcode.CALL
+
+    @property
+    def is_return(self):
+        return self.op is Opcode.RET
+
+    @property
+    def is_load(self):
+        return self.op is Opcode.LD
+
+    @property
+    def is_store(self):
+        return self.op is Opcode.ST
+
+    @property
+    def is_halt(self):
+        return self.op is Opcode.HALT
+
+    # -- dataflow ------------------------------------------------------
+
+    def written_register(self):
+        """The architectural register this instruction writes, or None.
+
+        Writes to the zero register are real in the encoding but the
+        emulator discards them; callers that care (e.g. select-µop
+        counting) should additionally ignore ``ZERO_REGISTER``.
+        """
+        if self.op in ALU_OPCODES or self.op in (
+            Opcode.MOV,
+            Opcode.MOVI,
+            Opcode.LD,
+        ):
+            return self.dest
+        return None
+
+    def read_registers(self):
+        """Tuple of architectural registers this instruction reads."""
+        op = self.op
+        if op in ALU_OPCODES:
+            if self.src2 is not None:
+                return (self.src1, self.src2)
+            return (self.src1,)
+        if op is Opcode.MOV:
+            return (self.src1,)
+        if op is Opcode.LD:
+            return (self.src1,)
+        if op is Opcode.ST:
+            return (self.src1, self.src2)
+        if op in COND_BRANCH_OPCODES:
+            return (self.src1,)
+        return ()
+
+    # -- latency -------------------------------------------------------
+
+    @property
+    def latency(self):
+        """Base execution latency in cycles (before cache misses)."""
+        return LATENCIES.get(self.op, DEFAULT_LATENCY)
+
+    # -- printing ------------------------------------------------------
+
+    def format(self):
+        """Disassemble to a single line of assembly-like text."""
+        op = self.op
+        if op in ALU_OPCODES:
+            second = f"r{self.src2}" if self.src2 is not None else str(self.imm)
+            return f"{op.value} r{self.dest}, r{self.src1}, {second}"
+        if op is Opcode.MOV:
+            return f"mov r{self.dest}, r{self.src1}"
+        if op is Opcode.MOVI:
+            return f"movi r{self.dest}, {self.imm}"
+        if op is Opcode.LD:
+            return f"ld r{self.dest}, {self.imm}(r{self.src1})"
+        if op is Opcode.ST:
+            return f"st r{self.src2}, {self.imm}(r{self.src1})"
+        if op in COND_BRANCH_OPCODES:
+            return f"{op.value} r{self.src1}, @{self.target}"
+        if op in (Opcode.JMP, Opcode.CALL):
+            return f"{op.value} @{self.target}"
+        return op.value
+
+    def __str__(self):
+        return self.format()
+
+    def retarget(self, new_target):
+        """Return a copy of this instruction with ``target`` replaced.
+
+        Used by the builder during label resolution; instructions are
+        otherwise immutable.
+        """
+        return Instruction(
+            op=self.op,
+            dest=self.dest,
+            src1=self.src1,
+            src2=self.src2,
+            imm=self.imm,
+            target=new_target,
+            label=self.label,
+        )

@@ -1,0 +1,40 @@
+"""Register file conventions.
+
+The machine has 64 general-purpose integer registers, ``r0``–``r63``.
+``r0`` is hardwired to zero, matching the Alpha's ``r31`` convention
+(reads return 0, writes are discarded).  The paper's Table 1 gives the
+baseline 512 *physical* registers; physical registers only matter to the
+timing model's renaming assumptions, not to the ISA, so the architectural
+register count here is an independent choice.
+"""
+
+NUM_REGISTERS = 64
+
+#: The hardwired-zero register.
+ZERO_REGISTER = 0
+
+#: Pre-computed printable names, ``r0`` .. ``r63``.
+REG_NAMES = tuple(f"r{i}" for i in range(NUM_REGISTERS))
+
+
+def register_name(index):
+    """Return the printable name for register ``index``.
+
+    Raises :class:`ValueError` for out-of-range indices so that malformed
+    instructions fail loudly during disassembly rather than silently.
+    """
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return REG_NAMES[index]
+
+
+def check_register(index, role="register"):
+    """Validate ``index`` as a register number and return it.
+
+    ``role`` names the operand in error messages (e.g. ``"dest"``).
+    """
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise TypeError(f"{role} must be an int register index, got {index!r}")
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"{role} register index out of range: {index}")
+    return index

@@ -1,0 +1,6 @@
+"""Cache hierarchy (Table 1's memory system)."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

@@ -1,0 +1,47 @@
+"""Per-branch misprediction profiles.
+
+Collected by running a branch predictor inside the profiling pass, so
+"misprediction rate" means exactly what it means at run time — the
+quantity High-BP-5 (paper §7.2), the short-hammock heuristic (§3.4) and
+the cost model's diagnostics are built on.
+"""
+
+
+class BranchProfile:
+    """Execution and misprediction counts per conditional branch pc."""
+
+    def __init__(self):
+        self._executed = {}
+        self._mispredicted = {}
+
+    def record(self, pc, mispredicted):
+        self._executed[pc] = self._executed.get(pc, 0) + 1
+        if mispredicted:
+            self._mispredicted[pc] = self._mispredicted.get(pc, 0) + 1
+
+    def exec_count(self, pc):
+        return self._executed.get(pc, 0)
+
+    def misprediction_count(self, pc):
+        return self._mispredicted.get(pc, 0)
+
+    def misprediction_rate(self, pc):
+        """Per-branch misprediction rate; 0.0 for never-executed branches."""
+        executed = self._executed.get(pc, 0)
+        if executed == 0:
+            return 0.0
+        return self._mispredicted.get(pc, 0) / executed
+
+    def total_mispredictions(self):
+        return sum(self._mispredicted.values())
+
+    def total_executed(self):
+        return sum(self._executed.values())
+
+    def branches_above_rate(self, rate):
+        """Branch pcs whose misprediction rate exceeds ``rate``."""
+        return sorted(
+            pc
+            for pc in self._executed
+            if self.misprediction_rate(pc) > rate
+        )

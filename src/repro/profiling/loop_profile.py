@@ -1,0 +1,70 @@
+"""Loop iteration profiles.
+
+Tracks, per conditional branch, the lengths of consecutive
+same-direction runs.  For a loop-exit branch the run length of the
+"stay in loop" direction is (trip count − 1); the diverge-loop
+heuristics (paper §5.2) query the average trip count through
+:meth:`LoopProfile.average_iterations`.
+"""
+
+
+class _RunState:
+    __slots__ = ("direction", "length", "sums", "counts")
+
+    def __init__(self):
+        self.direction = None
+        self.length = 0
+        # Completed-run statistics per direction: True/False -> totals.
+        self.sums = {True: 0, False: 0}
+        self.counts = {True: 0, False: 0}
+
+
+class LoopProfile:
+    """Consecutive same-direction run lengths per branch."""
+
+    def __init__(self):
+        self._states = {}
+
+    def record(self, pc, taken):
+        state = self._states.get(pc)
+        if state is None:
+            state = _RunState()
+            self._states[pc] = state
+        if state.direction is None:
+            state.direction = taken
+            state.length = 1
+        elif state.direction == taken:
+            state.length += 1
+        else:
+            state.sums[state.direction] += state.length
+            state.counts[state.direction] += 1
+            state.direction = taken
+            state.length = 1
+
+    def finish(self):
+        """Flush trailing open runs (call once after profiling ends)."""
+        for state in self._states.values():
+            if state.direction is not None and state.length > 0:
+                state.sums[state.direction] += state.length
+                state.counts[state.direction] += 1
+                state.direction = None
+                state.length = 0
+
+    def average_run_length(self, pc, direction):
+        """Mean length of completed ``direction`` runs at ``pc`` (0.0 if none)."""
+        state = self._states.get(pc)
+        if state is None or state.counts[direction] == 0:
+            return 0.0
+        return state.sums[direction] / state.counts[direction]
+
+    def average_iterations(self, pc, loop_direction):
+        """Average loop trip count for the exit branch at ``pc``.
+
+        ``loop_direction`` is the branch direction that *continues* the
+        loop.  A trip count of N shows up as a run of N-1 continue
+        outcomes followed by one exit, so the average trip count is the
+        average continue-run length + 1.  Loops that never exited
+        during profiling report their observed run length + 1 as well
+        (a lower bound).
+        """
+        return self.average_run_length(pc, loop_direction) + 1.0

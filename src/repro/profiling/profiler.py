@@ -1,0 +1,113 @@
+"""The profiling pass: one emulator run, all profiles.
+
+The profiler mirrors the paper's methodology (§6): the program runs to
+completion on a *profiling input set*, with a branch predictor and a
+JRS confidence estimator in the loop so that per-branch misprediction
+rates and the estimator's accuracy (Acc_Conf) are measured rather than
+assumed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.branchpred import JRSConfidenceEstimator, PerceptronPredictor
+from repro.emulator import ArchState, Emulator
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.edge_profile import EdgeProfile
+from repro.profiling.loop_profile import LoopProfile
+
+
+@dataclass
+class ProfileData:
+    """Everything the compiler algorithms consume."""
+
+    edge_profile: EdgeProfile
+    branch_profile: BranchProfile
+    loop_profile: LoopProfile
+    total_instructions: int = 0
+    total_branches: int = 0
+    total_mispredictions: int = 0
+    measured_acc_conf: float = 0.0
+    halted: bool = True
+
+    @property
+    def mpki(self):
+        """Mispredictions per kilo-instruction during the profiling run."""
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * self.total_mispredictions / self.total_instructions
+
+    def edge_prob(self, pc, taken):
+        """Convenience passthrough used by the path enumerator."""
+        return self.edge_profile.edge_prob(pc, taken)
+
+    def branch_exec_prob(self, pc):
+        """Fraction of dynamic instructions that are this branch."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.edge_profile.exec_count(pc) / self.total_instructions
+
+
+class Profiler:
+    """Runs a program once and collects all profiles.
+
+    Parameters
+    ----------
+    predictor:
+        The in-the-loop branch predictor; defaults to the same
+        perceptron predictor the Table 1 machine fetches with, so
+        profiled misprediction rates match run-time behaviour.
+    confidence:
+        Confidence estimator used to measure Acc_Conf; defaults to the
+        Table 1 enhanced JRS estimator.
+    """
+
+    def __init__(self, predictor=None, confidence=None):
+        self.predictor = predictor if predictor is not None \
+            else PerceptronPredictor()
+        self.confidence = confidence if confidence is not None \
+            else JRSConfidenceEstimator(history_bits=0)
+
+    def profile(self, program, memory=None, max_instructions=1_000_000):
+        """Run ``program`` and return its :class:`ProfileData`."""
+        self.predictor.reset()
+        self.confidence.reset()
+        edge_profile = EdgeProfile()
+        branch_profile = BranchProfile()
+        loop_profile = LoopProfile()
+        counters = {"branches": 0, "mispredictions": 0}
+
+        predictor = self.predictor
+        confidence = self.confidence
+
+        def on_branch(pc, taken):
+            counters["branches"] += 1
+            predicted = predictor.predict(pc)
+            predictor.update(pc, taken)
+            mispredicted = predicted != taken
+            if mispredicted:
+                counters["mispredictions"] += 1
+            low_conf = confidence.is_low_confidence(pc)
+            confidence.update(pc, mispredicted, was_low_confidence=low_conf)
+            edge_profile.record(pc, taken)
+            branch_profile.record(pc, mispredicted)
+            loop_profile.record(pc, taken)
+
+        emulator = Emulator(program)
+        result = emulator.run(
+            state=ArchState(memory=memory),
+            max_instructions=max_instructions,
+            on_branch=on_branch,
+        )
+        loop_profile.finish()
+
+        return ProfileData(
+            edge_profile=edge_profile,
+            branch_profile=branch_profile,
+            loop_profile=loop_profile,
+            total_instructions=result.instruction_count,
+            total_branches=counters["branches"],
+            total_mispredictions=counters["mispredictions"],
+            measured_acc_conf=confidence.pvn,
+            halted=result.halted,
+        )

@@ -1,0 +1,636 @@
+"""Trace-driven cycle-level timing simulation (baseline and DMP).
+
+The simulator replays the functional trace through a timing model of
+the Table 1 machine:
+
+- **Front end**: ``fetch_width`` instructions per cycle, fetch breaks
+  on taken control flow, at most ``max_cond_branches_per_cycle``
+  conditional branches per cycle, I-cache miss stalls, BTB miss
+  bubbles on taken control, return-address-stack prediction of
+  returns.
+- **Execution**: each instruction dispatches ``frontend_depth`` cycles
+  after fetch and completes when its source registers are ready plus
+  its latency (loads/stores walk the cache hierarchy).  This dataflow
+  ready-time model captures dependence chains without simulating a
+  scheduler structurally.
+- **Retire**: in-order, ``retire_width`` per cycle, bounded by the
+  ``rob_size``-entry reorder buffer; fetch stalls when the ROB fills.
+- **Branches**: resolved at their completion cycle; a misprediction
+  flushes — the correct path refetches at
+  ``resolution + redirect_penalty`` (minimum penalty 25 cycles).
+
+With a :class:`~repro.core.marks.BinaryAnnotation`, diverge branches
+additionally trigger **dpred-mode** on low confidence (or always, for
+short hammocks): the front end splits, fetching the true path (from
+the trace) and a synthesized wrong path (:mod:`repro.uarch.wrongpath`)
+on alternating cycles until both reach a CFM point of the branch.  On
+merge, select-µops are inserted (consuming fetch slots and making the
+hammock-written registers wait for the branch's resolution); on
+resolution-before-merge the episode degrades to dual-path execution.
+Either way a mispredicted diverge branch in dpred-mode does not flush —
+that is DMP's benefit.  Diverge loop branches predicate iterations:
+late exits avoid the flush at the cost of fetching the extra (NOPped)
+iterations and per-iteration select-µops; early exits flush as usual
+(§5.1's three cases).
+"""
+
+from repro.branchpred import (
+    BranchTargetBuffer,
+    JRSConfidenceEstimator,
+    ReturnAddressStack,
+    make_predictor,
+)
+from repro.core.marks import DivergeKind
+from repro.errors import SimulationError
+from repro.isa.instructions import Opcode
+from repro.memory import MemoryHierarchy
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.stats import SimStats
+from repro.uarch.wrongpath import BiasTable, WrongPathWalker
+
+
+class _Episode:
+    """One active dpred-mode episode."""
+
+    __slots__ = (
+        "kind",
+        "branch_pc",
+        "resolve",
+        "cfm_pcs",
+        "return_cfm",
+        "false_insts",
+        "false_merged",
+        "false_done_cycle",
+        "true_merged",
+        "select_registers",
+        "num_selects",
+        "mispredicted",
+        "half_width",
+        "start_cycle",
+    )
+
+    def __init__(self, kind, branch_pc, resolve, start_cycle):
+        self.kind = kind
+        self.branch_pc = branch_pc
+        self.resolve = resolve
+        self.start_cycle = start_cycle
+        self.cfm_pcs = frozenset()
+        self.return_cfm = False
+        self.false_insts = 0
+        self.false_merged = False
+        self.false_done_cycle = resolve
+        self.true_merged = False
+        self.select_registers = frozenset()
+        self.num_selects = 0
+        self.mispredicted = False
+        self.half_width = True
+
+
+class TimingSimulator:
+    """Replays a dynamic trace through the timing model.
+
+    Parameters
+    ----------
+    program:
+        The static program the trace came from.
+    config:
+        :class:`ProcessorConfig`; defaults to the Table 1 machine.
+    annotation:
+        Diverge-branch marks.  ``None`` simulates the baseline
+        processor (DMP support idle).
+    """
+
+    def __init__(self, program, config=None, annotation=None,
+                 collect_per_branch=False):
+        self.program = program
+        self.config = (config or ProcessorConfig()).validate()
+        self.annotation = annotation
+        #: When True, SimStats.per_branch records executions,
+        #: mispredictions, episodes, avoided and taken flushes per pc
+        #: (used by the coverage report; small runtime overhead).
+        self.collect_per_branch = collect_per_branch
+        cfg = self.config
+        self.predictor = make_predictor(
+            cfg.predictor_kind,
+            **(
+                {
+                    "num_perceptrons": cfg.perceptron_entries,
+                    "history_bits": cfg.perceptron_history,
+                }
+                if cfg.predictor_kind == "perceptron"
+                else {}
+            ),
+        )
+        self.confidence = JRSConfidenceEstimator(
+            num_entries=cfg.confidence_entries,
+            history_bits=cfg.confidence_history,
+            threshold=cfg.confidence_threshold,
+        )
+        self.btb = BranchTargetBuffer(cfg.btb_entries)
+        self.ras = ReturnAddressStack(cfg.ras_depth)
+        self.memory = MemoryHierarchy(
+            icache_kb=cfg.icache_kb,
+            icache_assoc=cfg.icache_assoc,
+            icache_latency=cfg.icache_latency,
+            dcache_kb=cfg.dcache_kb,
+            dcache_assoc=cfg.dcache_assoc,
+            dcache_latency=cfg.dcache_latency,
+            l2_kb=cfg.l2_kb,
+            l2_assoc=cfg.l2_assoc,
+            l2_latency=cfg.l2_latency,
+            memory_latency=cfg.memory_latency,
+        )
+        self.bias = BiasTable()
+        self.walker = WrongPathWalker(program, self.bias)
+        self._loop_episode = None
+        # Dynamic trip-count tracking for diverge loop branches: the
+        # number of predicated iterations in an episode is bounded by
+        # how much longer the loop will actually run, estimated from an
+        # EWMA of recent continue-run lengths minus the current streak.
+        self._loop_streak = {}
+        self._loop_run_ewma = {}
+
+    def _observe_loop_outcome(self, pc, continued):
+        """Update per-branch trip statistics; returns expected remaining."""
+        streak = self._loop_streak.get(pc, 0)
+        ewma = self._loop_run_ewma.get(pc, 4.0)
+        if continued:
+            self._loop_streak[pc] = streak + 1
+        else:
+            self._loop_run_ewma[pc] = 0.75 * ewma + 0.25 * streak
+            self._loop_streak[pc] = 0
+        return max(1.0, ewma - streak)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, trace, label=""):
+        """Simulate ``trace`` and return :class:`SimStats`."""
+        if not trace:
+            raise SimulationError("empty trace")
+        cfg = self.config
+        stats = SimStats(label=label)
+        instructions = self.program.instructions
+
+        # Warm the instruction side: at the paper's scale (hundreds of
+        # millions of instructions) compulsory I-cache misses are
+        # negligible, but at our reduced scale a cold pass over the
+        # static code would cost more cycles than the whole benchmark.
+        for pc in range(0, len(instructions),
+                        max(1, self.memory.icache.words_per_line)):
+            self.memory.instruction_latency(pc)
+
+        # Front-end state.
+        cycle = 0
+        slots_used = 0
+        cond_used = 0
+        group_pc = trace[0].pc
+
+        # Dataflow state: architectural register -> ready cycle.
+        reg_ready = {}
+
+        # ROB: completion cycles in program order (lazy in-order retire).
+        rob = []
+        rob_head = 0
+        last_retire_cycle = 0
+        retired_in_cycle = 0
+        last_complete = 0
+
+        episode = None
+
+        per_branch = {} if self.collect_per_branch else None
+
+        def branch_counters(pc):
+            counters = per_branch.get(pc)
+            if counters is None:
+                # [executions, mispredictions, episodes, avoided, flushes]
+                counters = [0, 0, 0, 0, 0]
+                per_branch[pc] = counters
+            return counters
+
+        fetch_width = cfg.fetch_width
+        frontend_depth = cfg.frontend_depth
+        redirect = cfg.redirect_penalty
+        retire_width = cfg.retire_width
+        rob_size = cfg.rob_size
+        max_cond = cfg.max_cond_branches_per_cycle
+        predictor = self.predictor
+        confidence = self.confidence
+        bias = self.bias
+        memory = self.memory
+        annotation = self.annotation
+
+        def retire_one():
+            nonlocal rob_head, last_retire_cycle, retired_in_cycle
+            complete = rob[rob_head]
+            rob_head += 1
+            if complete > last_retire_cycle:
+                last_retire_cycle = complete
+                retired_in_cycle = 1
+            else:
+                if retired_in_cycle >= retire_width:
+                    last_retire_cycle += 1
+                    retired_in_cycle = 1
+                else:
+                    retired_in_cycle += 1
+            return last_retire_cycle
+
+        def new_fetch_group(pc):
+            nonlocal cycle, slots_used, cond_used, group_pc
+            cycle += 1
+            slots_used = 0
+            cond_used = 0
+            group_pc = pc
+            extra = memory.instruction_latency(pc) - cfg.icache_latency
+            if extra > 0:
+                stats.icache_misses += 1
+                cycle += extra
+
+        def end_episode_unmerged():
+            nonlocal episode, cycle
+            ep = episode
+            episode = None
+            cycle = max(cycle, ep.resolve)
+            if ep.kind == "loop":
+                # Post-loop consumers of loop-carried values go through
+                # select-µops: ready no earlier than the resolution.
+                for reg in ep.select_registers:
+                    if ep.resolve > reg_ready.get(reg, 0):
+                        reg_ready[reg] = ep.resolve
+
+        def charge_fetch_slots(count):
+            # Extra µops (selects) consume fetch slots, spilling into
+            # additional cycles only when a group fills — charging whole
+            # cycles would make tiny hammocks artificially expensive.
+            nonlocal cycle, slots_used
+            slots_used += count
+            while slots_used >= fetch_width:
+                cycle += 1
+                slots_used -= fetch_width
+
+        def end_episode_merged(merge_cycle):
+            nonlocal episode, cycle, slots_used, cond_used
+            ep = episode
+            episode = None
+            cycle = max(cycle, merge_cycle)
+            stats.dpred_episodes_merged += 1
+            stats.dpred_select_uops += ep.num_selects
+            for _ in range(ep.num_selects):
+                rob.append(ep.resolve)
+            if ep.num_selects:
+                charge_fetch_slots(ep.num_selects)
+            for reg in ep.select_registers:
+                ready = reg_ready.get(reg, 0)
+                if ep.resolve > ready:
+                    reg_ready[reg] = ep.resolve
+
+        for dyn in trace:
+            pc = dyn.pc
+            inst = instructions[pc]
+
+            # ---- episode bookkeeping at the fetch boundary ----------
+            if episode is not None:
+                if cycle >= episode.resolve:
+                    end_episode_unmerged()
+                elif episode.kind == "hammock" and not episode.true_merged:
+                    at_cfm = pc in episode.cfm_pcs or (
+                        episode.return_cfm and inst.is_return
+                    )
+                    if at_cfm:
+                        episode.true_merged = True
+                        if episode.false_merged and \
+                                episode.false_done_cycle <= episode.resolve:
+                            end_episode_merged(episode.false_done_cycle)
+                        else:
+                            # True path waits for the false path, which
+                            # never merges: dual-path until resolution.
+                            end_episode_unmerged()
+
+            # ---- ROB slot ---------------------------------------------
+            # Drain until there is space: episodes bulk-insert wrong-path
+            # and select-µop entries, so a single pop per instruction
+            # would quietly stop enforcing the ROB limit.
+            while len(rob) - rob_head >= rob_size:
+                free_at = retire_one()
+                if free_at > cycle:
+                    cycle = free_at
+                    slots_used = 0
+                    cond_used = 0
+
+            # ---- fetch slot -------------------------------------------
+            if episode is not None and episode.half_width \
+                    and cycle < episode.false_done_cycle:
+                width = max(1, fetch_width // 2)
+            else:
+                width = fetch_width
+            if slots_used >= width or (
+                inst.is_conditional_branch and cond_used >= max_cond
+            ):
+                new_fetch_group(pc)
+            fetch_cycle = cycle
+            slots_used += 1
+            if inst.is_conditional_branch:
+                cond_used += 1
+
+            # ---- dataflow timing --------------------------------------
+            dispatch = fetch_cycle + frontend_depth
+            start = dispatch
+            for reg in inst.read_registers():
+                ready = reg_ready.get(reg, 0)
+                if ready > start:
+                    start = ready
+            if inst.is_load:
+                complete = start + memory.data_latency(dyn.address)
+            elif inst.is_store:
+                memory.data_latency(dyn.address)
+                complete = start + inst.latency
+            else:
+                complete = start + inst.latency
+            dest = inst.written_register()
+            if dest is not None and dest != 0:
+                reg_ready[dest] = complete
+            rob.append(complete)
+            last_complete = complete
+            stats.retired_instructions += 1
+
+            # ---- control flow -----------------------------------------
+            taken = dyn.next_pc != pc + 1
+            if inst.is_conditional_branch:
+                stats.conditional_branches += 1
+                predicted = predictor.predict(pc)
+                low_conf = confidence.is_low_confidence(pc)
+                mispredicted = predicted != taken
+                predictor.update(pc, taken)
+                confidence.update(pc, mispredicted,
+                                  was_low_confidence=low_conf)
+                bias.record(pc, taken)
+                if mispredicted:
+                    stats.mispredictions += 1
+                if low_conf:
+                    stats.low_confidence_branches += 1
+                    if mispredicted:
+                        stats.low_confidence_mispredicted += 1
+                if per_branch is not None:
+                    counters = branch_counters(pc)
+                    counters[0] += 1
+                    if mispredicted:
+                        counters[1] += 1
+
+                resolve = complete
+                diverge = annotation.get(pc) if annotation else None
+                entered = False
+                expected_remaining = 1.0
+                if diverge is not None \
+                        and diverge.kind is DivergeKind.LOOP:
+                    # Trip statistics update on *every* execution.
+                    expected_remaining = self._observe_loop_outcome(
+                        pc, taken == diverge.loop_direction
+                    )
+                if diverge is not None and episode is None:
+                    trigger = diverge.always_predicate or low_conf
+                    if trigger:
+                        if diverge.kind is DivergeKind.LOOP:
+                            entered = self._enter_loop_episode(
+                                stats, diverge, predicted, taken,
+                                fetch_cycle, resolve, expected_remaining,
+                            )
+                            if entered:
+                                episode = self._loop_episode
+                        else:
+                            episode = self._make_hammock_episode(
+                                stats, diverge, taken, inst,
+                                fetch_cycle, resolve, mispredicted,
+                            )
+                            entered = True
+                if entered:
+                    ep = episode
+                    if per_branch is not None:
+                        branch_counters(pc)[2] += 1
+                    if ep.mispredicted:
+                        stats.dpred_flushes_avoided += 1
+                        if per_branch is not None:
+                            branch_counters(pc)[3] += 1
+                    # The wrong path occupies the instruction window for
+                    # the whole episode (it retires as NOPs only after
+                    # the diverge branch resolves) — this is what makes
+                    # dynamically predicating very large hammocks
+                    # unprofitable (the §7.1.1 MAX_INSTR effect).
+                    stats.dpred_wrong_path_insts += ep.false_insts
+                    for _ in range(ep.false_insts):
+                        rob.append(ep.resolve)
+                    if ep.kind == "loop" and ep.num_selects:
+                        # Per-iteration select-µops consume fetch slots
+                        # across the episode (Equation 18).
+                        charge_fetch_slots(ep.num_selects)
+                        stats.dpred_select_uops += ep.num_selects
+                        for _ in range(ep.num_selects):
+                            rob.append(ep.resolve)
+                elif mispredicted and episode is not None \
+                        and episode.kind == "loop" \
+                        and episode.branch_pc == pc \
+                        and diverge is not None \
+                        and predicted == diverge.loop_direction:
+                    # A later instance of the predicated loop branch
+                    # inside the active episode: the over-iteration
+                    # (late-exit) misprediction is covered — the extra
+                    # iterations become NOPs instead of flushing, but
+                    # they do consume fetch bandwidth and ROB space
+                    # until the branch resolves.
+                    stats.dpred_flushes_avoided += 1
+                    if per_branch is not None:
+                        branch_counters(pc)[3] += 1
+                    episode.resolve = max(episode.resolve, resolve)
+                    episode.half_width = True
+                    extra = min(
+                        max(1, diverge.loop_body_size) * 2,
+                        self.config.dpred_max_wrong_path_insts,
+                    )
+                    episode.false_insts += extra
+                    stats.dpred_wrong_path_insts += extra
+                    for _ in range(extra):
+                        rob.append(resolve)
+                    per_cycle = max(1, fetch_width // 2)
+                    episode.false_done_cycle = max(
+                        episode.false_done_cycle,
+                        fetch_cycle + max(1, -(-extra // per_cycle)),
+                    )
+                elif mispredicted:
+                    if episode is not None:
+                        # A mispredicted branch on a predicated path
+                        # flushes and squashes the episode.
+                        episode = None
+                    stats.pipeline_flushes += 1
+                    if per_branch is not None:
+                        branch_counters(pc)[4] += 1
+                    cycle = max(cycle, resolve + redirect)
+                    slots_used = 0
+                    cond_used = 0
+                if taken and not mispredicted:
+                    bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                    if bubble:
+                        cycle += bubble
+                        slots_used = 0
+                        cond_used = 0
+            elif inst.op is Opcode.JMP:
+                bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                if bubble:
+                    cycle += bubble
+                    slots_used = 0
+                    cond_used = 0
+            elif inst.is_call:
+                self.ras.push(pc + 1)
+                bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                if bubble:
+                    cycle += bubble
+                    slots_used = 0
+                    cond_used = 0
+            elif inst.is_return:
+                correct = self.ras.pop_predict(dyn.next_pc)
+                if not correct:
+                    stats.pipeline_flushes += 1
+                    if episode is not None:
+                        episode = None
+                    cycle = max(cycle, complete + redirect)
+                    slots_used = 0
+                    cond_used = 0
+
+            # Taken control flow ends the fetch group.
+            if taken and inst.is_control:
+                slots_used = fetch_width + 1
+
+        # ---- drain -----------------------------------------------------
+        while rob_head < len(rob):
+            retire_one()
+        stats.cycles = max(last_retire_cycle, last_complete, cycle)
+        stats.dcache_misses = self.memory.dcache.misses
+        stats.l2_misses = self.memory.l2.misses
+        if per_branch is not None:
+            stats.per_branch = {
+                pc: {
+                    "executions": c[0],
+                    "mispredictions": c[1],
+                    "episodes": c[2],
+                    "flushes_avoided": c[3],
+                    "flushes": c[4],
+                }
+                for pc, c in per_branch.items()
+            }
+        return stats
+
+    # ------------------------------------------------------------------
+    # DMP episode construction
+    # ------------------------------------------------------------------
+
+    def _make_hammock_episode(self, stats, diverge, taken, inst,
+                              fetch_cycle, resolve, mispredicted):
+        cfg = self.config
+        stats.dpred_episodes += 1
+        episode = _Episode("hammock", diverge.branch_pc, resolve,
+                           fetch_cycle)
+        # Table 1: the hardware tracks at most num_cfm_registers CFM
+        # points per dpred episode (the compiler caps MAX_CFM to match,
+        # so this only bites on hand-written annotations).
+        cfm_pcs = diverge.cfm_pcs
+        if len(cfm_pcs) > cfg.num_cfm_registers:
+            cfm_pcs = frozenset(sorted(cfm_pcs)[: cfg.num_cfm_registers])
+        episode.cfm_pcs = cfm_pcs
+        episode.return_cfm = diverge.has_return_cfm
+        episode.select_registers = diverge.select_registers
+        episode.num_selects = diverge.num_select_uops
+        episode.mispredicted = mispredicted
+        # Synthesize the path the trace did not take.
+        false_start = (diverge.branch_pc + 1) if taken else inst.target
+        false_insts, false_merged = self.walker.walk(
+            false_start,
+            episode.cfm_pcs,
+            episode.return_cfm,
+            cfg.dpred_max_wrong_path_insts,
+        )
+        episode.false_insts = false_insts
+        episode.false_merged = false_merged
+        per_cycle = max(1, cfg.fetch_width // 2)
+        episode.false_done_cycle = fetch_cycle + max(
+            1, -(-false_insts // per_cycle)
+        )
+        return episode
+
+    def _enter_loop_episode(self, stats, diverge, predicted, taken,
+                            fetch_cycle, resolve, expected_remaining):
+        """Handle a low-confidence diverge loop branch instance.
+
+        Returns True when an episode object was installed (stored on
+        ``self._loop_episode`` for the caller to pick up).
+        """
+        cfg = self.config
+        continue_dir = diverge.loop_direction
+        actual_continue = taken == continue_dir
+        predicted_continue = predicted == continue_dir
+
+        window = max(1, resolve - fetch_cycle)
+        body = max(1, diverge.loop_body_size)
+        iter_cycles = max(1, -(-body // cfg.fetch_width))
+        # Each predicated iteration consumes a predicate register
+        # (Table 1: 32), bounding how deep the loop can be predicated.
+        est_iters = max(1, min(window // iter_cycles,
+                               int(expected_remaining) + 1,
+                               cfg.dpred_max_loop_iterations,
+                               cfg.num_predicate_registers))
+
+        stats.dpred_episodes += 1
+        stats.dpred_episodes_loop += 1
+        episode = _Episode("loop", diverge.branch_pc, resolve, fetch_cycle)
+        episode.select_registers = diverge.select_registers
+        episode.num_selects = diverge.num_select_uops * est_iters
+        episode.mispredicted = predicted != taken
+
+        if predicted_continue and not actual_continue:
+            # Late exit: the predictor over-iterates; the extra
+            # (predicated) iterations become NOPs — no flush, but the
+            # front end wastes half its bandwidth on them and the
+            # post-exit code shares fetch until resolution.
+            episode.half_width = True
+            episode.false_insts = min(
+                body * est_iters, cfg.dpred_max_wrong_path_insts
+            )
+            per_cycle = max(1, cfg.fetch_width // 2)
+            episode.false_done_cycle = fetch_cycle + max(
+                1, -(-episode.false_insts // per_cycle)
+            )
+            episode.false_merged = False
+        elif not predicted_continue and actual_continue:
+            # Early exit: the pipeline must be flushed to re-enter the
+            # loop — dpred-mode only added select-µop overhead.  The
+            # flush is modelled by *not* suppressing it: report no
+            # episode so the caller's normal misprediction path runs,
+            # but still charge the select overhead.
+            stats.dpred_select_uops += episode.num_selects
+            self._loop_episode = None
+            return False
+        else:
+            # Correctly predicted (or no-exit): overhead only.
+            episode.half_width = False
+            episode.mispredicted = False
+
+        self._loop_episode = episode
+        return True
+
+    def _btb_miss_bubble(self, pc, target):
+        """Bubble cycles when a taken control's target misses the BTB.
+
+        Direct targets are discovered at decode on a miss, so the front
+        end loses the BTB's ``miss_bubble_cycles``; the entry is filled
+        for next time.
+        """
+        predicted = self.btb.lookup(pc)
+        if predicted == target:
+            return 0
+        self.btb.insert(pc, target)
+        return self.btb.miss_bubble_cycles
+
+
+def simulate(program, trace, config=None, annotation=None, label=""):
+    """One-call convenience: build a simulator and run ``trace``."""
+    simulator = TimingSimulator(program, config=config,
+                                annotation=annotation)
+    return simulator.run(trace, label=label)

@@ -1,0 +1,94 @@
+"""Wrong-path instruction synthesis for dpred-mode.
+
+In the real DMP the front end fetches *both* sides of a diverge branch,
+following the branch predictor on each.  A trace-driven simulator only
+has the true path, so the other side is synthesized by walking the
+static program from the not-taken-by-the-trace successor, following a
+per-branch dynamic bias for conditional branches encountered on the
+way, until a CFM point of the diverge branch (or a return, for
+return-CFMs) or the instruction budget.
+
+The bias table is a bimodal predictor updated with every true-path
+branch outcome the simulator retires — a faithful stand-in for "the
+branch predictor's current opinion" without checkpointing the real
+predictor's global history down a path that never really executed
+(documented approximation, DESIGN.md §5).
+"""
+
+from repro.isa.instructions import Opcode
+
+
+class BiasTable:
+    """2-bit dynamic per-pc direction bias."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self):
+        self._counters = {}
+
+    def record(self, pc, taken):
+        counter = self._counters.get(pc, 2)
+        if taken:
+            self._counters[pc] = min(3, counter + 1)
+        else:
+            self._counters[pc] = max(0, counter - 1)
+
+    def predict(self, pc):
+        return self._counters.get(pc, 2) >= 2
+
+
+class WrongPathWalker:
+    """Synthesizes the non-trace side of a dpred episode."""
+
+    def __init__(self, program, bias):
+        self.program = program
+        self.bias = bias
+
+    def walk(self, start_pc, cfm_pcs, return_cfm, max_insts):
+        """Walk from ``start_pc``; returns ``(insts_fetched, merged)``.
+
+        ``merged`` is True when the walk reached a CFM point of the
+        diverge branch: a pc in ``cfm_pcs``, or — for return-CFM
+        branches — a return executed at the hammock's own call depth.
+        ``insts_fetched`` counts instructions the wrong path consumed
+        (capped at ``max_insts``).
+        """
+        instructions = self.program.instructions
+        bias = self.bias
+        pc = start_pc
+        count = 0
+        call_stack = []
+        while count < max_insts:
+            if not 0 <= pc < len(instructions):
+                return count, False
+            if pc in cfm_pcs:
+                return count, True
+            inst = instructions[pc]
+            op = inst.op
+            count += 1
+            if op is Opcode.JMP:
+                pc = inst.target
+            elif op is Opcode.CALL:
+                call_stack.append(pc + 1)
+                pc = inst.target
+            elif op is Opcode.RET:
+                if not call_stack:
+                    # Returning out of the hammock's own function: a
+                    # return CFM merges exactly here; any other path
+                    # escapes the analysis scope unmerged.
+                    return count, bool(return_cfm)
+                pc = call_stack.pop()
+            elif op in (Opcode.BEQZ, Opcode.BNEZ):
+                pc = inst.target if bias.predict(pc) else pc + 1
+            elif op is Opcode.HALT:
+                return count, False
+            else:
+                pc += 1
+        return count, False
+
+
+def walk_wrong_path(program, bias, start_pc, cfm_pcs, return_cfm,
+                    max_insts):
+    """Stateless convenience wrapper around :class:`WrongPathWalker`."""
+    walker = WrongPathWalker(program, bias)
+    return walker.walk(start_pc, cfm_pcs, return_cfm, max_insts)

@@ -1,0 +1,157 @@
+"""Shared fixtures: small hand-written programs with known structure."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, assemble
+
+
+@pytest.fixture
+def simple_hammock_program():
+    """An if-else hammock driven by memory word 0, in a counted loop.
+
+    Branch at the ``bnez`` over r3; merge at the xor; loop runs 100
+    iterations reading words 0..99.
+    """
+    return assemble(
+        """
+        .func main
+            movi r1, 0
+            movi r2, 100
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            mov r5, r1
+            ld r3, 0(r5)
+            bnez r3, then      ; the hammock branch
+            addi r6, r6, 1
+            jmp merge
+        then:
+            addi r7, r7, 2
+        merge:
+            xor r8, r8, 3
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        """,
+        name="simple-hammock",
+    )
+
+
+@pytest.fixture
+def nested_hammock_program():
+    """An if-else whose taken side contains another if-else."""
+    return assemble(
+        """
+        .func main
+            movi r1, 0
+            movi r2, 80
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            ld r3, 0(r1)
+            and r5, r3, 1
+            bnez r5, outer_then
+            addi r6, r6, 1
+            addi r6, r6, 1
+            jmp outer_merge
+        outer_then:
+            and r5, r3, 2
+            bnez r5, inner_then
+            addi r7, r7, 1
+            jmp inner_merge
+        inner_then:
+            addi r7, r7, 2
+        inner_merge:
+            addi r7, r7, 3
+        outer_merge:
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        """,
+        name="nested-hammock",
+    )
+
+
+@pytest.fixture
+def loop_program():
+    """A do-while inner loop with a data-driven trip count."""
+    return assemble(
+        """
+        .func main
+            movi r1, 0
+            movi r2, 60
+        outer:
+            cmpge r4, r1, r2
+            bnez r4, done
+            ld r3, 0(r1)
+        inner:
+            addi r5, r5, 1
+            addi r3, r3, -1
+            bnez r3, inner      ; diverge loop latch
+            addi r1, r1, 1
+            jmp outer
+        done:
+            halt
+        .endfunc
+        """,
+        name="loop-program",
+    )
+
+
+@pytest.fixture
+def call_program():
+    """A hammock that merges at different returns inside a helper."""
+    return assemble(
+        """
+        .func main
+            movi r1, 0
+            movi r2, 50
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            mov r20, r1
+            call helper
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        .func helper
+            ld r3, 0(r20)
+            bnez r3, h_then
+            addi r6, r6, 1
+            ret
+        h_then:
+            addi r7, r7, 1
+            ret
+        .endfunc
+        """,
+        name="call-program",
+    )
+
+
+@pytest.fixture
+def alternating_memory():
+    """Input memory where word i = i % 2 (perfectly periodic condition)."""
+    return {i: i % 2 for i in range(200)}
+
+
+@pytest.fixture
+def biased_memory():
+    """Input memory where every 7th word is 1 (rare-event condition)."""
+    return {i: 1 if i % 7 == 0 else 0 for i in range(200)}
+
+
+def build_straightline(n):
+    """A trivial program of n serial adds then halt (helper for tests)."""
+    builder = ProgramBuilder("straightline")
+    builder.begin_function("main")
+    for i in range(n):
+        builder.addi(1, 1, i)
+    builder.halt()
+    builder.end_function()
+    return builder.build()

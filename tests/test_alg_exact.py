@@ -1,0 +1,139 @@
+"""Tests for Algorithm 1 (Alg-exact)."""
+
+import pytest
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.marks import CFMKind, DivergeKind
+from repro.core.thresholds import SelectionThresholds
+from repro.isa import assemble
+from repro.profiling import Profiler
+
+
+def analyze(program, memory):
+    profile = Profiler().profile(program, memory=memory)
+    return ProgramAnalysis(program, profile)
+
+
+def test_simple_hammock_selected(simple_hammock_program,
+                                 alternating_memory):
+    analysis = analyze(simple_hammock_program, alternating_memory)
+    candidates = find_exact_candidates(analysis, SelectionThresholds())
+    hammock = [c for c in candidates if c.branch_pc == 6]
+    assert len(hammock) == 1
+    candidate = hammock[0]
+    assert candidate.kind is DivergeKind.SIMPLE_HAMMOCK
+    assert len(candidate.cfm_points) == 1
+    cfm = candidate.cfm_points[0]
+    assert cfm.kind is CFMKind.EXACT
+    assert cfm.merge_prob == 1.0
+    # merge label is at pc 10 in the fixture
+    assert cfm.pc == 10
+
+
+def test_nested_hammock_classified_nested(nested_hammock_program,
+                                          alternating_memory):
+    memory = {i: i % 4 for i in range(200)}
+    analysis = analyze(nested_hammock_program, memory)
+    candidates = {
+        c.branch_pc: c
+        for c in find_exact_candidates(analysis, SelectionThresholds())
+    }
+    outer = candidates[6]
+    assert outer.kind is DivergeKind.NESTED_HAMMOCK
+    inner = candidates[11]
+    assert inner.kind is DivergeKind.SIMPLE_HAMMOCK
+
+
+def test_max_instr_rejects_large_hammock():
+    side = "\n".join("    addi r6, r6, 1" for _ in range(60))
+    program = assemble(
+        f"""
+        .func main
+            movi r1, 0
+            movi r2, 50
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            ld r3, 0(r1)
+            bnez r3, then
+{side}
+            jmp merge
+        then:
+            addi r7, r7, 1
+        merge:
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        """
+    )
+    memory = {i: i % 2 for i in range(60)}
+    analysis = analyze(program, memory)
+    small = find_exact_candidates(
+        analysis, SelectionThresholds().with_overrides(max_instr=50)
+    )
+    large = find_exact_candidates(
+        analysis, SelectionThresholds().with_overrides(max_instr=200)
+    )
+    assert 5 not in {c.branch_pc for c in small}
+    assert 5 in {c.branch_pc for c in large}
+
+
+def test_call_inside_hammock_demotes_to_nested(call_program):
+    # the call fixture's main-loop hammock is in the helper; build one
+    # with a call inside a hammock side instead.
+    program = assemble(
+        """
+        .func main
+            movi r1, 0
+            movi r2, 40
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            ld r3, 0(r1)
+            bnez r3, then
+            addi r6, r6, 1
+            jmp merge
+        then:
+            call helper
+        merge:
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        .func helper
+            addi r7, r7, 1
+            ret
+        .endfunc
+        """
+    )
+    memory = {i: i % 2 for i in range(50)}
+    analysis = analyze(program, memory)
+    candidates = {
+        c.branch_pc: c
+        for c in find_exact_candidates(analysis, SelectionThresholds())
+    }
+    assert candidates[5].kind is DivergeKind.NESTED_HAMMOCK
+
+
+def test_branch_without_iposdom_not_selected(call_program,
+                                             alternating_memory):
+    analysis = analyze(call_program, alternating_memory)
+    candidates = find_exact_candidates(analysis, SelectionThresholds())
+    helper_branch = call_program.function_named("helper").start + 1
+    assert helper_branch not in {c.branch_pc for c in candidates}
+
+
+def test_loop_exit_branches_excluded(loop_program):
+    memory = {i: (i % 3) + 1 for i in range(100)}
+    analysis = analyze(loop_program, memory)
+    candidates = find_exact_candidates(analysis, SelectionThresholds())
+    latch_pc = next(
+        pc
+        for pc in loop_program.conditional_branch_pcs()
+        if loop_program[pc].target <= pc
+    )
+    assert latch_pc not in {c.branch_pc for c in candidates}

@@ -1,0 +1,172 @@
+"""Tests for Algorithm 2 (Alg-freq) and the chain reduction."""
+
+import pytest
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.alg_freq import find_freq_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.marks import CFMKind, DivergeKind
+from repro.core.thresholds import SelectionThresholds
+from repro.isa import assemble
+from repro.profiling import Profiler
+
+
+def analyze(program, memory):
+    profile = Profiler().profile(program, memory=memory)
+    return ProgramAnalysis(program, profile)
+
+
+def freq_hammock_program(cold_insts=60):
+    """A hammock whose taken side rarely escapes to a long cold block."""
+    cold = "\n".join("    addi r9, r9, 1" for _ in range(cold_insts))
+    return assemble(
+        f"""
+        .func main
+            movi r1, 0
+            movi r2, 200
+        loop:
+            cmpge r4, r1, r2
+            bnez r4, done
+            ld r3, 0(r1)
+            and r5, r3, 1
+            bnez r5, then        ; the frequently-hammock branch
+            addi r6, r6, 1
+            addi r6, r6, 2
+            jmp merge
+        then:
+            addi r7, r7, 1
+            and r5, r3, 2
+            beqz r5, merge       ; rare escape guard
+{cold}
+        merge:
+            addi r8, r8, 1
+            addi r1, r1, 1
+            jmp loop
+        done:
+            halt
+        .endfunc
+        """,
+        name="freq-hammock",
+    )
+
+
+def freq_memory(n=300, rare_period=37):
+    # bit0 alternates (hard-ish); bit1 set rarely (escape).
+    return {
+        i: (i % 2) | (2 if i % rare_period == 0 else 0) for i in range(n)
+    }
+
+
+BRANCH_PC = 6  # `bnez r5, then`
+
+
+class TestFreqSelection:
+    def test_rejected_by_exact_found_by_freq(self):
+        program = freq_hammock_program()
+        analysis = analyze(program, freq_memory())
+        thresholds = SelectionThresholds()
+        exact = {c.branch_pc
+                 for c in find_exact_candidates(analysis, thresholds)}
+        assert BRANCH_PC not in exact
+        freq = {
+            c.branch_pc: c
+            for c in find_freq_candidates(analysis, thresholds, exact)
+        }
+        assert BRANCH_PC in freq
+        candidate = freq[BRANCH_PC]
+        assert candidate.kind is DivergeKind.FREQUENTLY_HAMMOCK
+        assert all(
+            p.kind is CFMKind.APPROXIMATE for p in candidate.cfm_points
+        )
+
+    def test_merge_probability_reflects_rare_escape(self):
+        program = freq_hammock_program()
+        analysis = analyze(program, freq_memory(rare_period=21))
+        candidate = {
+            c.branch_pc: c
+            for c in find_freq_candidates(
+                analysis, SelectionThresholds(), frozenset()
+            )
+        }[BRANCH_PC]
+        best = max(p.merge_prob for p in candidate.cfm_points)
+        # odd multiples of 21 escape: ~7% of taken-side executions,
+        # so the merge probability lands well below 1.0
+        assert 0.7 <= best <= 0.999
+
+    def test_min_merge_prob_filters(self):
+        program = freq_hammock_program()
+        analysis = analyze(program, freq_memory())
+        strict = SelectionThresholds().with_overrides(min_merge_prob=0.999)
+        candidates = {
+            c.branch_pc
+            for c in find_freq_candidates(analysis, strict, frozenset())
+        }
+        assert BRANCH_PC not in candidates
+
+    def test_max_cfm_respected(self):
+        program = freq_hammock_program()
+        analysis = analyze(program, freq_memory())
+        thresholds = SelectionThresholds().with_overrides(max_cfm=1)
+        for candidate in find_freq_candidates(
+            analysis, thresholds, frozenset()
+        ):
+            assert len(candidate.cfm_points) <= 1
+
+
+class TestChainReduction:
+    def test_chained_candidates_collapse(self):
+        # C is always on the path to D on the not-taken side: the chain
+        # rule must keep only one of them (paper §3.3.1, Figure 4).
+        program = assemble(
+            """
+            .func main
+                movi r1, 0
+                movi r2, 120
+            loop:
+                cmpge r4, r1, r2
+                bnez r4, done
+                ld r3, 0(r1)
+                bnez r3, taken_side
+                addi r5, r5, 1
+            point_c:
+                addi r6, r6, 1
+            point_d:
+                addi r7, r7, 1
+                jmp next
+            taken_side:
+                and r8, r3, 2
+                bnez r8, to_d
+                jmp point_c
+            to_d:
+                jmp point_d
+            next:
+                addi r1, r1, 1
+                jmp loop
+            done:
+                halt
+            .endfunc
+            """
+        )
+        memory = {i: (i % 2) | (2 if i % 3 == 0 else 0) for i in range(150)}
+        analysis = analyze(program, memory)
+        candidates = find_freq_candidates(
+            analysis, SelectionThresholds(), frozenset()
+        )
+        branch = {c.branch_pc: c for c in candidates}.get(5)
+        assert branch is not None
+        cfm_pcs = branch.cfm_pcs
+        c_pc = 7   # point_c block entry
+        d_pc = 8   # point_d block entry
+        # Only one of the chained points survives.
+        assert not ({c_pc, d_pc} <= cfm_pcs)
+
+
+def test_freq_excludes_already_selected(simple_hammock_program,
+                                        alternating_memory):
+    analysis = analyze(simple_hammock_program, alternating_memory)
+    thresholds = SelectionThresholds()
+    exact_pcs = {
+        c.branch_pc for c in find_exact_candidates(analysis, thresholds)
+    }
+    freq = find_freq_candidates(analysis, thresholds, exact_pcs)
+    assert not (exact_pcs & {c.branch_pc for c in freq})

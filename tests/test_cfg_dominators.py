@@ -1,0 +1,99 @@
+"""Dominator / post-dominator analysis tests (Cooper-Harvey-Kennedy)."""
+
+from repro.cfg import build_cfgs, compute_dominators, compute_postdominators
+from repro.cfg.dominators import immediate_postdominator_pc
+from repro.isa import assemble
+
+
+def analyze(text, func="main"):
+    program = assemble(text)
+    cfg = build_cfgs(program)[func]
+    return cfg, compute_dominators(cfg), compute_postdominators(cfg)
+
+
+DIAMOND = """
+.func main
+    movi r1, 1
+    bnez r1, right
+    addi r2, r2, 1
+    jmp join
+right:
+    addi r3, r3, 1
+join:
+    halt
+.endfunc
+"""
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg, doms, _ = analyze(DIAMOND)
+        entry = cfg.entry_block.block_id
+        for block in cfg.blocks:
+            assert doms.dominates(entry, block.block_id)
+
+    def test_sides_do_not_dominate_join(self):
+        cfg, doms, _ = analyze(DIAMOND)
+        join = cfg.block_containing(5).block_id
+        left = cfg.block_containing(2).block_id
+        right = cfg.block_containing(4).block_id
+        assert not doms.dominates(left, join)
+        assert not doms.dominates(right, join)
+        assert doms.immediate(join) == cfg.entry_block.block_id
+
+    def test_dominance_is_reflexive(self):
+        cfg, doms, _ = analyze(DIAMOND)
+        for block in cfg.blocks:
+            assert doms.dominates(block.block_id, block.block_id)
+
+
+class TestPostDominators:
+    def test_join_postdominates_sides(self):
+        cfg, _, postdoms = analyze(DIAMOND)
+        join = cfg.block_containing(5).block_id
+        for pc in (0, 2, 4):
+            block = cfg.block_containing(pc).block_id
+            assert postdoms.dominates(join, block)
+
+    def test_iposdom_of_diamond_branch_is_join(self):
+        cfg, _, postdoms = analyze(DIAMOND)
+        assert immediate_postdominator_pc(cfg, postdoms, 1) == 5
+
+    def test_branch_with_two_returns_has_no_iposdom(self):
+        cfg, _, postdoms = analyze(
+            """
+            .func main
+                call f
+                halt
+            .endfunc
+            .func f
+                movi r1, 1
+                bnez r1, other
+                ret
+            other:
+                ret
+            .endfunc
+            """,
+            func="f",
+        )
+        assert immediate_postdominator_pc(cfg, postdoms, 3) is None
+
+    def test_nested_hammock_iposdoms(self, nested_hammock_program):
+        cfg = build_cfgs(nested_hammock_program)["main"]
+        postdoms = compute_postdominators(cfg)
+        # outer hammock branch at pc 5 merges at outer_merge (pc 16)
+        outer = immediate_postdominator_pc(cfg, postdoms, 5)
+        inner = immediate_postdominator_pc(cfg, postdoms, 10)
+        assert outer is not None and inner is not None
+        assert inner < outer  # inner merge comes before outer merge
+
+    def test_loop_latch_iposdom_is_exit(self, loop_program):
+        cfg = build_cfgs(loop_program)["main"]
+        postdoms = compute_postdominators(cfg)
+        latch_pc = next(
+            pc
+            for pc in loop_program.conditional_branch_pcs()
+            if loop_program[pc].target <= pc
+        )
+        exit_pc = immediate_postdominator_pc(cfg, postdoms, latch_pc)
+        assert exit_pc == latch_pc + 1

@@ -1,0 +1,134 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.cfg import build_cfg, build_cfgs
+from repro.errors import CFGError
+from repro.isa import assemble
+
+
+def cfg_of(text, func="main"):
+    program = assemble(text)
+    return build_cfgs(program)[func]
+
+
+DIAMOND = """
+.func main
+    movi r1, 1
+    bnez r1, right
+    addi r2, r2, 1
+    jmp join
+right:
+    addi r3, r3, 1
+join:
+    halt
+.endfunc
+"""
+
+
+class TestBlockSplitting:
+    def test_diamond_block_count(self):
+        cfg = cfg_of(DIAMOND)
+        # entry+branch | left | right | join
+        assert len(cfg.blocks) == 4
+
+    def test_blocks_tile_the_function(self):
+        cfg = cfg_of(DIAMOND)
+        covered = []
+        for block in cfg.blocks:
+            covered.extend(range(block.start, block.end))
+        assert covered == list(range(len(cfg.program)))
+
+    def test_block_containing(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.block_containing(0).block_id == 0
+        assert cfg.block_containing(1).block_id == 0
+        with pytest.raises(CFGError):
+            cfg.block_containing(999)
+
+    def test_entry_block_starts_at_function_start(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.entry_block.start == cfg.function.start
+
+
+class TestEdges:
+    def test_conditional_branch_has_two_successors(self):
+        cfg = cfg_of(DIAMOND)
+        branch_block = cfg.block_containing(1)
+        assert len(branch_block.successors) == 2
+        assert branch_block.taken_successor is not None
+        assert branch_block.fallthrough_successor is not None
+        taken = cfg.blocks[branch_block.taken_successor]
+        assert taken.start == cfg.program[1].target
+
+    def test_jmp_has_single_successor(self):
+        cfg = cfg_of(DIAMOND)
+        jmp_block = cfg.block_containing(3)
+        assert len(jmp_block.successors) == 1
+
+    def test_halt_block_has_no_successors(self):
+        cfg = cfg_of(DIAMOND)
+        halt_block = cfg.block_containing(len(cfg.program) - 1)
+        assert halt_block.successors == []
+        assert halt_block in cfg.exit_blocks()
+
+    def test_predecessors_mirror_successors(self):
+        cfg = cfg_of(DIAMOND)
+        for src, dst in cfg.edge_iter():
+            assert src.block_id in dst.predecessors
+
+    def test_call_does_not_split_blocks(self):
+        cfg = cfg_of(
+            """
+            .func main
+                call f
+                halt
+            .endfunc
+            .func f
+                ret
+            .endfunc
+            """
+        )
+        # Intraprocedural CFG: CALL falls through, so call+halt share
+        # one basic block.
+        block = cfg.block_containing(0)
+        assert block.start == 0 and block.end == 2
+
+    def test_ret_blocks_are_exits(self):
+        program = assemble(
+            """
+            .func main
+                call f
+                halt
+            .endfunc
+            .func f
+                movi r1, 1
+                bnez r1, other
+                ret
+            other:
+                ret
+            .endfunc
+            """
+        )
+        cfg = build_cfgs(program)["f"]
+        assert len(cfg.exit_blocks()) == 2
+
+
+class TestQueries:
+    def test_conditional_branch_blocks(self, simple_hammock_program):
+        cfg = build_cfgs(simple_hammock_program)["main"]
+        blocks = cfg.conditional_branch_blocks()
+        assert all(
+            cfg.terminator(b).is_conditional_branch for b in blocks
+        )
+        assert len(blocks) == 2  # loop exit + hammock
+
+    def test_loop_backedge_exists(self, simple_hammock_program):
+        cfg = build_cfgs(simple_hammock_program)["main"]
+        edges = {(s.block_id, d.block_id) for s, d in cfg.edge_iter()}
+        back = [(s, d) for s, d in edges if d < s]
+        assert back  # the jmp loop -> top
+
+    def test_build_cfgs_covers_all_functions(self, call_program):
+        cfgs = build_cfgs(call_program)
+        assert set(cfgs) == {"main", "helper"}

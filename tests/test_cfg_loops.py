@@ -1,0 +1,110 @@
+"""Natural-loop detection tests."""
+
+from repro.cfg import build_cfgs, find_natural_loops
+from repro.isa import assemble
+
+
+def loops_of(text, func="main"):
+    program = assemble(text)
+    cfg = build_cfgs(program)[func]
+    return cfg, find_natural_loops(cfg)
+
+
+class TestDoWhile:
+    TEXT = """
+    .func main
+        movi r1, 5
+    top:
+        addi r2, r2, 1
+        addi r1, r1, -1
+        bnez r1, top
+        halt
+    .endfunc
+    """
+
+    def test_single_loop_found(self):
+        _, loops = loops_of(self.TEXT)
+        assert len(loops) == 1
+
+    def test_latch_branch_and_exit(self):
+        cfg, loops = loops_of(self.TEXT)
+        loop = loops[0]
+        assert loop.back_edge_branch_pc == 3
+        assert loop.exit_pc == 4
+        assert (3, 4) in loop.exit_branches
+
+    def test_static_size(self):
+        _, loops = loops_of(self.TEXT)
+        assert loops[0].static_size == 3  # the three body instructions
+
+
+class TestWhileStyle:
+    TEXT = """
+    .func main
+        movi r1, 5
+    top:
+        beqz r1, done
+        addi r2, r2, 1
+        addi r1, r1, -1
+        jmp top
+    done:
+        halt
+    .endfunc
+    """
+
+    def test_header_exit_branch_detected(self):
+        cfg, loops = loops_of(self.TEXT)
+        assert len(loops) == 1
+        loop = loops[0]
+        # The exit branch is the header's beqz; exit pc is `done`.
+        assert loop.exit_branches == ((1, 5),)
+        # Not a latch-style branch, so back_edge_branch_pc is None.
+        assert loop.back_edge_branch_pc is None
+
+
+class TestNestedLoops:
+    TEXT = """
+    .func main
+        movi r1, 3
+    outer:
+        movi r2, 4
+    inner:
+        addi r3, r3, 1
+        addi r2, r2, -1
+        bnez r2, inner
+        addi r1, r1, -1
+        bnez r1, outer
+        halt
+    .endfunc
+    """
+
+    def test_two_loops_found(self):
+        _, loops = loops_of(self.TEXT)
+        assert len(loops) == 2
+
+    def test_inner_loop_nested_in_outer(self):
+        _, loops = loops_of(self.TEXT)
+        inner = min(loops, key=lambda l: len(l.body))
+        outer = max(loops, key=lambda l: len(l.body))
+        assert inner.body < outer.body
+
+    def test_each_loop_has_its_own_exit_branch(self):
+        _, loops = loops_of(self.TEXT)
+        exits = {l.back_edge_branch_pc for l in loops}
+        assert len(exits) == 2
+
+
+def test_loop_free_function_has_no_loops():
+    _, loops = loops_of(
+        ".func main\n    movi r1, 1\n    halt\n.endfunc"
+    )
+    assert loops == []
+
+
+def test_fixture_loop_program(loop_program):
+    cfg = build_cfgs(loop_program)["main"]
+    loops = find_natural_loops(cfg)
+    # outer counted loop + inner data-driven loop
+    assert len(loops) == 2
+    inner = min(loops, key=lambda l: len(l.body))
+    assert inner.back_edge_branch_pc is not None

@@ -1,0 +1,178 @@
+"""Bounded path enumeration tests (Alg-freq's working list)."""
+
+import pytest
+
+from repro.cfg import build_cfgs, enumerate_paths
+from repro.cfg.dominators import compute_postdominators, immediate_postdominator_pc
+from repro.isa import assemble
+
+
+def setup(text, func="main"):
+    program = assemble(text)
+    return build_cfgs(program)[func]
+
+
+DIAMOND = """
+.func main
+    movi r1, 1
+    bnez r1, right
+    addi r2, r2, 1
+    addi r2, r2, 2
+    jmp join
+right:
+    addi r3, r3, 1
+join:
+    halt
+.endfunc
+"""
+
+
+def uniform(pc, taken):
+    return 0.5
+
+
+class TestBasicEnumeration:
+    def test_diamond_paths_stop_at_iposdom(self):
+        cfg = setup(DIAMOND)
+        iposdom = immediate_postdominator_pc(
+            cfg, compute_postdominators(cfg), 1
+        )
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5,
+                             stop_pcs={iposdom})
+        assert len(ps.taken_paths) == 1
+        assert len(ps.nottaken_paths) == 1
+        assert all(p.reason == "stop" for p in ps.taken_paths)
+        assert ps.taken_paths[0].insts == 1
+        assert ps.nottaken_paths[0].insts == 3
+
+    def test_path_probabilities_are_conditional_on_direction(self):
+        cfg = setup(DIAMOND)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        assert ps.taken_paths[0].prob == pytest.approx(1.0)
+
+    def test_max_instr_limit(self):
+        cfg = setup(DIAMOND)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=2, max_cbr=5)
+        # The not-taken side needs 3 instructions before the jmp block
+        # runs out of budget.
+        assert any(p.reason == "limit" for p in ps.nottaken_paths)
+
+    def test_reach_prob_sums_per_block(self):
+        cfg = setup(DIAMOND)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        reach_taken = ps.reach_prob("taken")
+        join_pc = 6
+        assert reach_taken[join_pc] == pytest.approx(1.0)
+
+    def test_bad_direction_raises(self):
+        cfg = setup(DIAMOND)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        with pytest.raises(ValueError):
+            ps.paths("sideways")
+
+
+INNER_BRANCH = """
+.func main
+    movi r1, 1
+    bnez r1, side
+    addi r2, r2, 1
+    jmp join
+side:
+    movi r3, 1
+    bnez r3, sub
+    addi r4, r4, 1
+    jmp join
+sub:
+    addi r5, r5, 1
+join:
+    halt
+.endfunc
+"""
+
+
+class TestBranchingPaths:
+    def test_taken_side_splits_into_two_paths(self):
+        cfg = setup(INNER_BRANCH)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        assert len(ps.taken_paths) == 2
+        probs = sorted(p.prob for p in ps.taken_paths)
+        assert probs == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_max_cbr_limit(self):
+        cfg = setup(INNER_BRANCH)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=0)
+        assert all(p.reason == "limit" for p in ps.taken_paths)
+
+    def test_min_exec_prob_prunes_directions(self):
+        cfg = setup(INNER_BRANCH)
+
+        def biased(pc, taken):
+            # the inner branch (pc 5) almost never goes to `sub`
+            if pc == 5:
+                return 0.0001 if taken else 0.9999
+            return 0.5
+
+        ps = enumerate_paths(
+            cfg, 1, biased, max_instr=50, max_cbr=5, min_exec_prob=0.001
+        )
+        # only one surviving path on the taken side
+        assert len(ps.taken_paths) == 1
+
+    def test_first_reach_prob_orders_chain(self):
+        cfg = setup(INNER_BRANCH)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        join_pc = 9
+        sub_pc = 8
+        first = ps.first_reach_prob("taken", [sub_pc, join_pc])
+        # sub is reached first on half the taken paths; join first on
+        # the other half.
+        assert first[sub_pc] == pytest.approx(0.5)
+        assert first[join_pc] == pytest.approx(0.5)
+
+
+RETURNS = """
+.func main
+    call f
+    halt
+.endfunc
+.func f
+    movi r1, 1
+    bnez r1, other
+    addi r2, r2, 1
+    ret
+other:
+    addi r3, r3, 1
+    ret
+.endfunc
+"""
+
+
+class TestReturnPaths:
+    def test_both_directions_end_in_returns(self):
+        cfg = setup(RETURNS, func="f")
+        ps = enumerate_paths(cfg, 3, uniform, max_instr=50, max_cbr=5)
+        assert ps.return_prob("taken") == pytest.approx(1.0)
+        assert ps.return_prob("nottaken") == pytest.approx(1.0)
+
+
+class TestSizeEstimates:
+    def test_longest_and_expected_insts(self):
+        cfg = setup(INNER_BRANCH)
+        ps = enumerate_paths(cfg, 1, uniform, max_instr=50, max_cbr=5)
+        join_pc = 9
+        longest = ps.longest_insts_to("taken", join_pc)
+        expected = ps.expected_insts_to("taken", join_pc)
+        assert longest >= expected > 0
+
+    def test_loop_paths_bounded_by_max_instr(self, loop_program):
+        cfg = build_cfgs(loop_program)["main"]
+        latch_pc = next(
+            pc
+            for pc in loop_program.conditional_branch_pcs()
+            if loop_program[pc].target <= pc
+        )
+        ps = enumerate_paths(
+            cfg, latch_pc, uniform, max_instr=30, max_cbr=5
+        )
+        assert all(p.insts <= 30 + 10 for p in
+                   ps.taken_paths + ps.nottaken_paths)

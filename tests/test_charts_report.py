@@ -1,0 +1,87 @@
+"""Tests for table rendering and ASCII charts."""
+
+import pytest
+
+from repro.experiments.charts import (
+    chart_flush_result,
+    chart_speedup_result,
+    grouped_series_chart,
+    horizontal_bars,
+)
+from repro.experiments.report import percent, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [("alpha", 1), ("b", 22)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(1.23456,)])
+        assert "1.23" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_percent(self):
+        assert percent(0.204) == "+20.4%"
+        assert percent(-0.01) == "-1.0%"
+
+
+class TestHorizontalBars:
+    def test_positive_bars(self):
+        text = horizontal_bars([("a", 0.1), ("bb", 0.2)])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # the larger value has the longer bar
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_negative_values_extend_left(self):
+        text = horizontal_bars([("pos", 0.2), ("neg", -0.1)])
+        pos_line, neg_line = text.splitlines()
+        assert pos_line.index("|") < pos_line.rindex("#")
+        assert neg_line.index("#") < neg_line.index("|")
+
+    def test_title_and_empty(self):
+        assert horizontal_bars([], title="T") == "T"
+        assert horizontal_bars([("a", 0.0)], title="T").startswith("T")
+
+    def test_custom_format(self):
+        text = horizontal_bars([("a", 3.5)], fmt="{:.2f}")
+        assert "3.50" in text
+
+    def test_grouped_chart(self):
+        values = {"s1": {"b1": 0.1, "b2": 0.2}, "s2": {"b1": 0.0,
+                                                       "b2": 0.3}}
+        text = grouped_series_chart(["b1", "b2"], ["s1", "s2"], values,
+                                    title="G")
+        assert "-- b1 --" in text and "-- b2 --" in text
+
+
+class TestResultCharts:
+    RESULT = {
+        "series": ["exact", "all-best-heur"],
+        "means": {"exact": 0.05, "all-best-heur": 0.20},
+    }
+
+    def test_speedup_chart(self):
+        text = chart_speedup_result(self.RESULT, "fig5")
+        assert "fig5" in text
+        assert "+20.0%" in text
+
+    def test_flush_chart(self):
+        result = {
+            "series": ["baseline", "all-best-heur"],
+            "means": {"baseline": 4.2, "all-best-heur": 2.1},
+        }
+        text = chart_flush_result(result, "fig6")
+        assert "4.20" in text

@@ -1,0 +1,126 @@
+"""Tests for the JRS confidence estimator, BTB, and return address stack."""
+
+import pytest
+
+from repro.branchpred import (
+    BranchTargetBuffer,
+    JRSConfidenceEstimator,
+    ReturnAddressStack,
+)
+
+
+class TestJRS:
+    def test_starts_low_confidence(self):
+        jrs = JRSConfidenceEstimator(history_bits=0)
+        assert jrs.is_low_confidence(10)
+
+    def test_reaches_high_confidence_after_threshold_correct(self):
+        jrs = JRSConfidenceEstimator(history_bits=0, threshold=14)
+        for _ in range(13):
+            jrs.update(10, mispredicted=False)
+        assert jrs.is_low_confidence(10)
+        jrs.update(10, mispredicted=False)
+        assert not jrs.is_low_confidence(10)
+
+    def test_misprediction_resets_counter(self):
+        jrs = JRSConfidenceEstimator(history_bits=0)
+        for _ in range(15):
+            jrs.update(10, mispredicted=False)
+        assert not jrs.is_low_confidence(10)
+        jrs.update(10, mispredicted=True)
+        assert jrs.is_low_confidence(10)
+
+    def test_counter_saturates(self):
+        jrs = JRSConfidenceEstimator(history_bits=0)
+        for _ in range(100):
+            jrs.update(10, mispredicted=False)
+        index = jrs._index(10)
+        assert jrs._counters[index] == 15
+
+    def test_pvn_measures_low_confidence_accuracy(self):
+        jrs = JRSConfidenceEstimator(history_bits=0)
+        # 10 low-confidence events, 4 of them mispredictions
+        for i in range(10):
+            jrs.update(3, mispredicted=i < 4, was_low_confidence=True)
+        assert jrs.pvn == pytest.approx(0.4)
+        assert jrs.coverage == pytest.approx(1.0)
+
+    def test_enhanced_indexing_uses_history(self):
+        jrs = JRSConfidenceEstimator(history_bits=12)
+        before = jrs._index(100)
+        jrs.update(100, mispredicted=True)
+        after = jrs._index(100)
+        assert before != after  # history bit changed the mapping
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            JRSConfidenceEstimator(threshold=0)
+        with pytest.raises(ValueError):
+            JRSConfidenceEstimator(threshold=16)
+
+    def test_reset(self):
+        jrs = JRSConfidenceEstimator(history_bits=0)
+        for _ in range(20):
+            jrs.update(1, mispredicted=False)
+        jrs.reset()
+        assert jrs.is_low_confidence(1)
+        assert jrs.queries == 0
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(num_entries=16)
+        assert btb.lookup(5) is None
+        btb.insert(5, 99)
+        assert btb.lookup(5) == 99
+        assert btb.misses == 1 and btb.hits == 1
+
+    def test_aliasing_eviction(self):
+        btb = BranchTargetBuffer(num_entries=16)
+        btb.insert(5, 99)
+        btb.insert(5 + 16, 42)  # same slot
+        assert btb.lookup(5) is None
+
+    def test_reset(self):
+        btb = BranchTargetBuffer(num_entries=16)
+        btb.insert(1, 2)
+        btb.reset()
+        assert btb.lookup(1) is None
+        assert btb.misses == 1  # the post-reset lookup
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(num_entries=0)
+
+
+class TestRAS:
+    def test_matched_push_pop(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(101)
+        ras.push(202)
+        assert ras.pop_predict(202)
+        assert ras.pop_predict(101)
+        assert ras.mispredictions == 0
+
+    def test_pop_empty_mispredicts(self):
+        ras = ReturnAddressStack(depth=8)
+        assert not ras.pop_predict(55)
+        assert ras.mispredictions == 1
+
+    def test_overflow_wraps_and_mispredicts_deep_returns(self):
+        ras = ReturnAddressStack(depth=4)
+        for pc in range(10):
+            ras.push(pc)
+        assert ras.overflows == 6
+        # The newest four predictions are fine...
+        for pc in (9, 8, 7, 6):
+            assert ras.pop_predict(pc)
+        # ...but older frames were overwritten.
+        assert not ras.pop_predict(5)
+
+    def test_wrong_target_counts(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(1)
+        assert not ras.pop_predict(2)
+        assert ras.mispredictions == 1
+        assert ras.predictions == 1

@@ -1,0 +1,118 @@
+"""Tests for the diverge-branch/CFM data model and BinaryAnnotation."""
+
+import pytest
+
+from repro.core import (
+    BinaryAnnotation,
+    CFMKind,
+    CFMPoint,
+    DivergeBranch,
+    DivergeKind,
+)
+
+
+class TestCFMPoint:
+    def test_exact_point(self):
+        point = CFMPoint(pc=10, kind=CFMKind.EXACT)
+        assert point.merge_prob == 1.0
+
+    def test_return_point_has_no_pc(self):
+        point = CFMPoint(pc=None, kind=CFMKind.RETURN, merge_prob=0.9)
+        assert point.pc is None
+
+    def test_return_point_rejects_pc(self):
+        with pytest.raises(ValueError):
+            CFMPoint(pc=5, kind=CFMKind.RETURN)
+
+    def test_non_return_requires_pc(self):
+        with pytest.raises(ValueError):
+            CFMPoint(pc=None, kind=CFMKind.APPROXIMATE)
+
+    def test_merge_prob_bounds(self):
+        with pytest.raises(ValueError):
+            CFMPoint(pc=1, kind=CFMKind.EXACT, merge_prob=1.5)
+
+
+class TestDivergeBranch:
+    def test_basic_hammock(self):
+        branch = DivergeBranch(
+            branch_pc=4,
+            kind=DivergeKind.SIMPLE_HAMMOCK,
+            cfm_points=(CFMPoint(pc=9, kind=CFMKind.EXACT),),
+            select_registers=frozenset({3, 5}),
+        )
+        assert branch.cfm_pcs == frozenset({9})
+        assert branch.num_select_uops == 2
+        assert not branch.has_return_cfm
+
+    def test_loop_requires_direction(self):
+        with pytest.raises(ValueError):
+            DivergeBranch(
+                branch_pc=4,
+                kind=DivergeKind.LOOP,
+                cfm_points=(CFMPoint(pc=9, kind=CFMKind.LOOP_EXIT),),
+            )
+
+    def test_cfm_less_branch_allowed(self):
+        # The §7.2 simple baselines mark CFM-less branches (dual-path).
+        branch = DivergeBranch(
+            branch_pc=4,
+            kind=DivergeKind.FREQUENTLY_HAMMOCK,
+            cfm_points=(),
+        )
+        assert branch.cfm_pcs == frozenset()
+
+    def test_return_cfm_flag(self):
+        branch = DivergeBranch(
+            branch_pc=4,
+            kind=DivergeKind.FREQUENTLY_HAMMOCK,
+            cfm_points=(CFMPoint(pc=None, kind=CFMKind.RETURN),),
+        )
+        assert branch.has_return_cfm
+        assert branch.cfm_pcs == frozenset()
+
+
+def _mk(pc, kind=DivergeKind.SIMPLE_HAMMOCK, cfms=(9,)):
+    return DivergeBranch(
+        branch_pc=pc,
+        kind=kind,
+        cfm_points=tuple(
+            CFMPoint(pc=c, kind=CFMKind.EXACT) for c in cfms
+        ),
+    )
+
+
+class TestBinaryAnnotation:
+    def test_add_get_iterate(self):
+        ann = BinaryAnnotation("p", [_mk(4), _mk(2)])
+        assert ann.is_diverge(4)
+        assert ann.get(2).branch_pc == 2
+        assert ann.get(99) is None
+        assert [b.branch_pc for b in ann] == [2, 4]
+        assert len(ann) == 2
+
+    def test_duplicate_rejected(self):
+        ann = BinaryAnnotation("p", [_mk(4)])
+        with pytest.raises(ValueError, match="duplicate"):
+            ann.add(_mk(4))
+
+    def test_average_cfm_points(self):
+        ann = BinaryAnnotation("p", [_mk(1, cfms=(5,)), _mk(2, cfms=(5, 7))])
+        assert ann.average_cfm_points == pytest.approx(1.5)
+        assert BinaryAnnotation("q").average_cfm_points == 0.0
+
+    def test_branches_of_kind(self):
+        ann = BinaryAnnotation(
+            "p",
+            [
+                _mk(1),
+                _mk(2, kind=DivergeKind.NESTED_HAMMOCK),
+            ],
+        )
+        assert len(ann.branches_of_kind(DivergeKind.SIMPLE_HAMMOCK)) == 1
+
+    def test_summary(self):
+        ann = BinaryAnnotation("p", [_mk(1)])
+        summary = ann.summary()
+        assert summary["total"] == 1
+        assert summary["by_kind"]["simple"] == 1

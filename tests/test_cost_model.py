@@ -1,0 +1,224 @@
+"""Tests for the §4/§5.1 analytical cost-benefit model.
+
+The numeric cases are hand-computed from the paper's equations.
+"""
+
+import pytest
+
+from repro.core.cost_model import (
+    CostModelParams,
+    LoopCaseProbabilities,
+    dpred_cost,
+    estimate_side_insts,
+    evaluate_hammock,
+    hammock_overhead,
+    loop_dpred_cost,
+    loop_late_exit_overhead,
+    loop_select_overhead,
+    useless_insts_for_cfm,
+)
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.alg_freq import find_freq_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.thresholds import COST_MODEL
+from repro.isa import assemble
+from repro.profiling import Profiler
+
+PARAMS = CostModelParams(fetch_width=8, misp_penalty=25.0, acc_conf=0.40)
+
+
+class TestEquationOne:
+    def test_dpred_cost_formula(self):
+        # cost = o*(1-a) + (o-p)*a  with o=4, p=25, a=0.4
+        # = 4*0.6 + (4-25)*0.4 = 2.4 - 8.4 = -6.0
+        assert dpred_cost(4.0, PARAMS) == pytest.approx(-6.0)
+
+    def test_break_even_overhead(self):
+        # cost = 0  <=>  o = p*a = 10 fetch cycles
+        assert dpred_cost(10.0, PARAMS) == pytest.approx(0.0)
+        assert dpred_cost(10.1, PARAMS) > 0
+        assert dpred_cost(9.9, PARAMS) < 0
+
+    def test_higher_acc_conf_lowers_cost(self):
+        eager = CostModelParams(acc_conf=0.5)
+        shy = CostModelParams(acc_conf=0.2)
+        assert dpred_cost(5.0, eager) < dpred_cost(5.0, shy)
+
+
+class _FakePathSet:
+    """Hand-built path set facade for equation-level tests."""
+
+    def __init__(self, longest, expected):
+        self._longest = longest
+        self._expected = expected
+
+    def longest_insts_to(self, direction, cfm_pc):
+        return self._longest[direction]
+
+    def expected_insts_to(self, direction, cfm_pc):
+        return self._expected[direction]
+
+
+class TestSizeEstimation:
+    def setup_method(self):
+        self.paths = _FakePathSet(
+            longest={"taken": 12, "nottaken": 20},
+            expected={"taken": 10.0, "nottaken": 14.0},
+        )
+
+    def test_method_selection(self):
+        assert estimate_side_insts(self.paths, "taken", 0, "long") == 12
+        assert estimate_side_insts(self.paths, "taken", 0, "edge") == 10.0
+        with pytest.raises(ValueError):
+            estimate_side_insts(self.paths, "taken", 0, "psychic")
+
+    def test_useless_insts_equation_13(self):
+        # N_dpred = 10+14 = 24; useful = 0.5*10 + 0.5*14 = 12; useless 12
+        useless = useless_insts_for_cfm(self.paths, 0, 0.5, "edge")
+        assert useless == pytest.approx(12.0)
+
+    def test_useless_with_biased_direction(self):
+        # p_taken=1.0: the whole not-taken side is useless
+        useless = useless_insts_for_cfm(self.paths, 0, 1.0, "edge")
+        assert useless == pytest.approx(14.0)
+
+
+class _FakeCandidate:
+    def __init__(self, cfm_points, path_set):
+        self.cfm_points = cfm_points
+        self.path_set = path_set
+        self.branch_pc = 0
+
+
+class _FakeCFM:
+    def __init__(self, pc, merge_prob):
+        self.pc = pc
+        self.merge_prob = merge_prob
+
+
+class TestFrequentlyHammockOverhead:
+    def test_equation_16_blend(self):
+        paths = _FakePathSet(
+            longest={"taken": 8, "nottaken": 8},
+            expected={"taken": 8.0, "nottaken": 8.0},
+        )
+        candidate = _FakeCandidate([_FakeCFM(5, 0.8)], paths)
+        overhead, useless, merged = hammock_overhead(
+            candidate, 0.5, PARAMS, "edge"
+        )
+        # useless = 8 (per eq 13 with p=.5); merged mass 0.8
+        # overhead = 0.8*8/8 + 0.2*(25/2) = 0.8 + 2.5 = 3.3
+        assert merged == pytest.approx(0.8)
+        assert overhead == pytest.approx(3.3)
+
+    def test_exact_cfm_degenerates_to_simple_formula(self):
+        paths = _FakePathSet(
+            longest={"taken": 8, "nottaken": 8},
+            expected={"taken": 8.0, "nottaken": 8.0},
+        )
+        candidate = _FakeCandidate([_FakeCFM(5, 1.0)], paths)
+        overhead, _, merged = hammock_overhead(
+            candidate, 0.5, PARAMS, "edge"
+        )
+        assert merged == 1.0
+        assert overhead == pytest.approx(1.0)  # 8/8
+
+    def test_equation_17_multiple_cfms(self):
+        paths = _FakePathSet(
+            longest={"taken": 8, "nottaken": 8},
+            expected={"taken": 8.0, "nottaken": 8.0},
+        )
+        candidate = _FakeCandidate(
+            [_FakeCFM(5, 0.6), _FakeCFM(9, 0.3)], paths
+        )
+        overhead, _, merged = hammock_overhead(
+            candidate, 0.5, PARAMS, "edge"
+        )
+        assert merged == pytest.approx(0.9)
+        # 0.6*1 + 0.3*1 + 0.1*12.5 = 2.15
+        assert overhead == pytest.approx(2.15)
+
+
+class TestLoopModel:
+    def test_equation_18(self):
+        # 4 selects * 6 iterations / 8-wide = 3 cycles
+        assert loop_select_overhead(4, 6, PARAMS) == pytest.approx(3.0)
+
+    def test_equation_19(self):
+        # body 16 * 2 extra / 8 + selects(4*6/8) = 4 + 3 = 7
+        overhead = loop_late_exit_overhead(16, 2, 4, 6, PARAMS)
+        assert overhead == pytest.approx(7.0)
+
+    def test_equation_20_only_late_exit_benefits(self):
+        probs = LoopCaseProbabilities(
+            correct=0.5, early_exit=0.1, late_exit=0.3, no_exit=0.1
+        )
+        cost = loop_dpred_cost(
+            loop_body_size=16,
+            n_select_uops=4,
+            dpred_iter=6,
+            dpred_extra_iter=2,
+            case_probs=probs,
+            params=PARAMS,
+        )
+        # overhead_sel=3; overhead_late=7
+        # = (0.5+0.1+0.1)*3 + 0.3*(7-25) = 2.1 - 5.4 = -3.3
+        assert cost == pytest.approx(-3.3)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LoopCaseProbabilities(0.5, 0.5, 0.5, 0.5)
+
+
+class TestEndToEndEvaluation:
+    def _candidate(self, side_insts):
+        side = "\n".join(
+            "    addi r6, r6, 1" for _ in range(side_insts)
+        )
+        program = assemble(
+            f"""
+            .func main
+                movi r1, 0
+                movi r2, 120
+            loop:
+                cmpge r4, r1, r2
+                bnez r4, done
+                ld r3, 0(r1)
+                bnez r3, then
+{side}
+                jmp merge
+            then:
+                addi r7, r7, 1
+            merge:
+                addi r1, r1, 1
+                jmp loop
+            done:
+                halt
+            .endfunc
+            """
+        )
+        memory = {i: i % 2 for i in range(150)}
+        profile = Profiler().profile(program, memory=memory)
+        analysis = ProgramAnalysis(program, profile)
+        candidates = {
+            c.branch_pc: c
+            for c in find_exact_candidates(analysis, COST_MODEL)
+        }
+        return candidates[5], profile
+
+    def test_small_hammock_selected(self):
+        candidate, profile = self._candidate(side_insts=6)
+        report = evaluate_hammock(candidate, profile, PARAMS, "edge")
+        assert report.selected
+        assert report.dpred_cost < 0
+
+    def test_huge_hammock_rejected(self):
+        candidate, profile = self._candidate(side_insts=170)
+        report = evaluate_hammock(candidate, profile, PARAMS, "edge")
+        assert not report.selected
+
+    def test_long_method_at_least_as_pessimistic(self):
+        candidate, profile = self._candidate(side_insts=40)
+        edge = evaluate_hammock(candidate, profile, PARAMS, "edge")
+        long = evaluate_hammock(candidate, profile, PARAMS, "long")
+        assert long.dpred_overhead >= edge.dpred_overhead - 1e-9

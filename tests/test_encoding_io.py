@@ -1,0 +1,182 @@
+"""Tests for binary encoding and annotation serialization."""
+
+import pytest
+
+from repro.core import SelectionConfig, select_diverge_branches
+from repro.core import annotation_io
+from repro.errors import AssemblerError, SelectionError
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.encoding import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.profiling import Profiler
+from repro.workloads import load_benchmark
+
+
+class TestInstructionEncoding:
+    CASES = [
+        Instruction(op=Opcode.ADD, dest=1, src1=2, src2=3),
+        Instruction(op=Opcode.ADD, dest=1, src1=2, imm=-42),
+        Instruction(op=Opcode.MOVI, dest=63, imm=(1 << 30)),
+        Instruction(op=Opcode.LD, dest=5, src1=6, imm=-8),
+        Instruction(op=Opcode.ST, src1=6, src2=7, imm=0),
+        Instruction(op=Opcode.BEQZ, src1=9, target=1234),
+        Instruction(op=Opcode.BNEZ, src1=9, target=0),
+        Instruction(op=Opcode.JMP, target=77),
+        Instruction(op=Opcode.CALL, target=2),
+        Instruction(op=Opcode.RET),
+        Instruction(op=Opcode.NOP),
+        Instruction(op=Opcode.HALT),
+        Instruction(op=Opcode.MOV, dest=0, src1=63),
+    ]
+
+    @pytest.mark.parametrize("inst", CASES, ids=lambda i: i.format())
+    def test_roundtrip(self, inst):
+        word = encode_instruction(inst)
+        assert len(word) == 8
+        decoded = decode_instruction(word)
+        assert decoded == inst
+
+    def test_immediate_zero_roundtrips(self):
+        # imm=0 must not be confused with "no operand"
+        inst = Instruction(op=Opcode.MOVI, dest=1, imm=0)
+        assert decode_instruction(encode_instruction(inst)).imm == 0
+
+    def test_oversized_immediate_rejected(self):
+        inst = Instruction(op=Opcode.MOVI, dest=1, imm=1 << 40)
+        with pytest.raises(AssemblerError, match="32-bit"):
+            encode_instruction(inst)
+
+    def test_sentinel_immediate_rejected(self):
+        inst = Instruction(op=Opcode.MOVI, dest=1, imm=0x7FFFFFFF)
+        with pytest.raises(AssemblerError, match="sentinel"):
+            encode_instruction(inst)
+
+    def test_bad_opcode_index(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            decode_instruction(b"\xfe\x00\x00\x00\x00\x00\x00\x00")
+
+
+class TestProgramImages:
+    def test_roundtrip_multifunction_program(self, call_program):
+        blob = encode_program(call_program)
+        restored = decode_program(blob, name=call_program.name)
+        assert len(restored) == len(call_program)
+        assert [f.name for f in restored.functions] == [
+            f.name for f in call_program.functions
+        ]
+        for original, decoded in zip(
+            call_program.instructions, restored.instructions
+        ):
+            assert original == decoded
+
+    def test_roundtrip_generated_benchmark(self):
+        workload = load_benchmark("li", scale=0.1)
+        blob = encode_program(workload.program)
+        restored = decode_program(blob)
+        assert len(restored) == len(workload.program)
+
+    def test_magic_checked(self):
+        with pytest.raises(AssemblerError, match="DMPB"):
+            decode_program(b"NOPE" + b"\x00" * 16)
+
+    def test_trailing_bytes_rejected(self, simple_hammock_program):
+        blob = encode_program(simple_hammock_program) + b"\x00"
+        with pytest.raises(AssemblerError, match="trailing"):
+            decode_program(blob)
+
+
+@pytest.fixture(scope="module")
+def annotated():
+    workload = load_benchmark("twolf", scale=0.2)
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    annotation = select_diverge_branches(
+        workload.program, profile, SelectionConfig.all_best_heur()
+    )
+    return workload.program, annotation
+
+
+class TestAnnotationIO:
+    def test_json_roundtrip(self, annotated):
+        program, annotation = annotated
+        text = annotation_io.dumps(annotation)
+        restored = annotation_io.loads(text)
+        assert len(restored) == len(annotation)
+        for original in annotation:
+            copy = restored.get(original.branch_pc)
+            assert copy is not None
+            assert copy.kind == original.kind
+            assert copy.cfm_pcs == original.cfm_pcs
+            assert copy.select_registers == original.select_registers
+            assert copy.always_predicate == original.always_predicate
+            assert copy.loop_direction == original.loop_direction
+
+    def test_file_roundtrip(self, annotated, tmp_path):
+        program, annotation = annotated
+        path = tmp_path / "marks.json"
+        annotation_io.save(annotation, path)
+        restored = annotation_io.load(path)
+        assert len(restored) == len(annotation)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SelectionError, match="not a DMP"):
+            annotation_io.loads('{"format": "something-else"}')
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SelectionError, match="version"):
+            annotation_io.loads(
+                '{"format": "dmp-annotation", "version": 99}'
+            )
+
+    def test_validate_accepts_real_annotation(self, annotated):
+        program, annotation = annotated
+        assert annotation_io.validate_against_program(
+            annotation, program
+        ) == []
+
+    def test_validate_flags_bad_pcs(self, annotated):
+        from repro.core import BinaryAnnotation, DivergeBranch, DivergeKind
+
+        program, _ = annotated
+        bogus = BinaryAnnotation(
+            "x",
+            [
+                DivergeBranch(
+                    branch_pc=0,  # movi, not a branch
+                    kind=DivergeKind.SIMPLE_HAMMOCK,
+                    cfm_points=(),
+                ),
+                DivergeBranch(
+                    branch_pc=10 ** 6,
+                    kind=DivergeKind.SIMPLE_HAMMOCK,
+                    cfm_points=(),
+                ),
+            ],
+        )
+        problems = annotation_io.validate_against_program(bogus, program)
+        assert len(problems) == 2
+
+    def test_simulation_identical_after_roundtrip(self, annotated):
+        from repro.emulator import execute
+        from repro.uarch import simulate
+        from repro.workloads import load_benchmark
+
+        program, annotation = annotated
+        workload = load_benchmark("twolf", scale=0.2)
+        trace, _ = execute(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+        )
+        restored = annotation_io.loads(annotation_io.dumps(annotation))
+        a = simulate(program, trace, annotation=annotation)
+        b = simulate(program, trace, annotation=restored)
+        assert a.cycles == b.cycles
+        assert a.dpred_episodes == b.dpred_episodes

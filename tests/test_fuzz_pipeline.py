@@ -1,0 +1,124 @@
+"""Fuzz tests: the whole pipeline on randomly composed workloads.
+
+Hypothesis draws random region mixes and behaviour parameters, builds a
+program through the workload generator, and checks end-to-end
+invariants: functional execution halts, selection emits structurally
+valid annotations, and the timing simulator terminates with sane
+results under every selection configuration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SelectionConfig, select_diverge_branches
+from repro.core.annotation_io import validate_against_program
+from repro.emulator import execute
+from repro.profiling import Profiler
+from repro.uarch import simulate
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    Region,
+    build_program,
+    fill_memory,
+)
+
+_REGION_KINDS = st.sampled_from(
+    [
+        "simple_hammock",
+        "nested_hammock",
+        "freq_hammock",
+        "short_hammock",
+        "split",
+        "ret_hammock",
+        "diverge_loop",
+        "long_loop",
+        "compute",
+        "memory",
+    ]
+)
+
+
+@st.composite
+def random_region(draw):
+    kind = draw(_REGION_KINDS)
+    return Region(
+        kind,
+        behavior=draw(st.sampled_from(["biased", "markov", "pattern",
+                                       "bursty"])),
+        p=draw(st.floats(0.03, 0.6)),
+        side_insts=draw(st.integers(2, 20)),
+        rare_prob=draw(st.floats(0.01, 0.2)),
+        cold_insts=draw(st.integers(10, 80)),
+        body_insts=draw(st.integers(2, 12)),
+        mean_iters=draw(st.floats(1.5, 8.0)),
+        trip_kind=draw(st.sampled_from(["geometric", "uniform",
+                                        "constant", "jittery"])),
+        loads=draw(st.integers(1, 2)),
+        region_words=1024,
+        count=draw(st.integers(1, 2)),
+        gate_prob=draw(st.sampled_from([1.0, 0.25])),
+    )
+
+
+@st.composite
+def random_workload(draw):
+    regions = draw(st.lists(random_region(), min_size=1, max_size=4))
+    seed = draw(st.integers(0, 2**31))
+    spec = BenchmarkSpec(
+        name="fuzz", regions=tuple(regions), iterations=24
+    )
+    program, segments = build_program(spec)
+    memory = fill_memory(spec, segments, seed=seed)
+    return program, memory
+
+
+@given(random_workload())
+@settings(max_examples=20, deadline=None)
+def test_fuzzed_workload_runs_and_halts(workload):
+    program, memory = workload
+    trace, result = execute(program, memory=memory,
+                            max_instructions=300_000)
+    assert result.halted
+    assert len(trace) == result.instruction_count
+
+
+@given(random_workload(), st.sampled_from(["heur", "cost", "exact"]))
+@settings(max_examples=15, deadline=None)
+def test_fuzzed_selection_is_structurally_valid(workload, mode):
+    program, memory = workload
+    profile = Profiler().profile(program, memory=memory,
+                                 max_instructions=300_000)
+    config = {
+        "heur": SelectionConfig.all_best_heur(),
+        "cost": SelectionConfig.all_best_cost(),
+        "exact": SelectionConfig(enable_freq=False),
+    }[mode]
+    annotation = select_diverge_branches(program, profile, config)
+    assert validate_against_program(annotation, program) == []
+    # selected pcs are unique and sorted iteration works
+    pcs = [b.branch_pc for b in annotation]
+    assert pcs == sorted(set(pcs))
+
+
+@given(random_workload())
+@settings(max_examples=10, deadline=None)
+def test_fuzzed_simulation_invariants(workload):
+    program, memory = workload
+    trace, result = execute(program, memory=memory,
+                            max_instructions=300_000)
+    assert result.halted
+    profile = Profiler().profile(program, memory=memory,
+                                 max_instructions=300_000)
+    annotation = select_diverge_branches(
+        program, profile, SelectionConfig.all_best_heur()
+    )
+    baseline = simulate(program, trace)
+    dmp = simulate(program, trace, annotation=annotation)
+    for stats in (baseline, dmp):
+        assert stats.retired_instructions == len(trace)
+        assert stats.cycles > 0
+        assert stats.pipeline_flushes <= stats.mispredictions
+    # DMP never mispredicts differently and stays within a sane
+    # envelope of the baseline's run time.
+    assert dmp.mispredictions == baseline.mispredictions
+    assert dmp.cycles <= baseline.cycles * 3
+    assert dmp.cycles >= baseline.cycles // 5

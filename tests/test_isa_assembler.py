@@ -1,0 +1,128 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Opcode, assemble
+
+
+def test_all_alu_mnemonics():
+    ops = ["add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr",
+           "cmplt", "cmple", "cmpeq", "cmpne", "cmpgt", "cmpge"]
+    body = "\n".join(f"    {op} r1, r2, r3" for op in ops)
+    program = assemble(f".func main\n{body}\n    halt\n.endfunc")
+    assert len(program) == len(ops) + 1
+    assert program[0].op is Opcode.ADD
+    assert program[4].op is Opcode.AND
+
+
+def test_immediate_and_register_second_operand():
+    program = assemble(
+        ".func main\n    add r1, r2, 5\n    add r1, r2, r3\n    halt\n.endfunc"
+    )
+    assert program[0].imm == 5 and program[0].src2 is None
+    assert program[1].src2 == 3 and program[1].imm is None
+
+
+def test_addi_alias():
+    program = assemble(".func main\n    addi r1, r1, -4\n    halt\n.endfunc")
+    assert program[0].op is Opcode.ADD
+    assert program[0].imm == -4
+
+
+def test_addi_alias_rejects_register():
+    with pytest.raises(AssemblerError):
+        assemble(".func main\n    addi r1, r1, r2\n    halt\n.endfunc")
+
+
+def test_memory_addressing():
+    program = assemble(
+        ".func main\n    ld r1, 8(r2)\n    st r3, -4(r5)\n    halt\n.endfunc"
+    )
+    ld, st = program[0], program[1]
+    assert (ld.dest, ld.src1, ld.imm) == (1, 2, 8)
+    assert (st.src2, st.src1, st.imm) == (3, 5, -4)
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="offset"):
+        assemble(".func main\n    ld r1, r2\n    halt\n.endfunc")
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        ; full line comment
+        .func main
+            nop        ; trailing comment
+            # hash comment
+            halt
+        .endfunc
+        """
+    )
+    assert len(program) == 2
+
+
+def test_labels_and_branches():
+    program = assemble(
+        """
+        .func main
+        top:
+            addi r1, r1, 1
+            bnez r1, top
+            beqz r1, end
+            nop
+        end:
+            halt
+        .endfunc
+        """
+    )
+    assert program[1].target == 0
+    assert program[2].target == 4
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble(".func main\n    frobnicate r1\n.endfunc")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError, match="needs"):
+        assemble(".func main\n    mov r1\n    halt\n.endfunc")
+
+
+def test_bad_register_token():
+    with pytest.raises(AssemblerError, match="register"):
+        assemble(".func main\n    mov r1, x2\n    halt\n.endfunc")
+
+
+def test_bad_integer():
+    with pytest.raises(AssemblerError, match="integer"):
+        assemble(".func main\n    movi r1, abc\n    halt\n.endfunc")
+
+
+def test_malformed_func_directive():
+    with pytest.raises(AssemblerError, match="malformed"):
+        assemble(".func\n    halt\n.endfunc")
+
+
+def test_hex_immediates():
+    program = assemble(".func main\n    movi r1, 0x10\n    halt\n.endfunc")
+    assert program[0].imm == 16
+
+
+def test_multiple_functions_and_calls():
+    program = assemble(
+        """
+        .func main
+            call helper
+            halt
+        .endfunc
+        .func helper
+            movi r2, 1
+            ret
+        .endfunc
+        """
+    )
+    assert program[0].target == 2
+    assert len(program.functions) == 2

@@ -1,0 +1,141 @@
+"""Unit tests for the instruction data model."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    COMPARE_OPCODES,
+    COND_BRANCH_OPCODES,
+    DEFAULT_LATENCY,
+    LATENCIES,
+)
+
+
+class TestValidation:
+    def test_alu_requires_exactly_one_second_operand(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.ADD, dest=1, src1=2)
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.ADD, dest=1, src1=2, src2=3, imm=4)
+
+    def test_alu_register_form(self):
+        inst = Instruction(op=Opcode.ADD, dest=1, src1=2, src2=3)
+        assert inst.read_registers() == (2, 3)
+        assert inst.written_register() == 1
+
+    def test_alu_immediate_form(self):
+        inst = Instruction(op=Opcode.SUB, dest=1, src1=2, imm=7)
+        assert inst.read_registers() == (2,)
+        assert inst.imm == 7
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.ADD, dest=64, src1=0, imm=0)
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.ADD, dest=-1, src1=0, imm=0)
+
+    def test_register_type_checked(self):
+        with pytest.raises(TypeError):
+            Instruction(op=Opcode.MOV, dest="r1", src1=0)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.BEQZ, src1=1)
+
+    def test_load_requires_offset(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.LD, dest=1, src1=2)
+
+    def test_store_operands(self):
+        inst = Instruction(op=Opcode.ST, src1=2, src2=3, imm=4)
+        assert inst.read_registers() == (2, 3)
+        assert inst.written_register() is None
+
+    def test_movi_requires_immediate(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Opcode.MOVI, dest=1)
+
+    def test_nop_ret_halt_take_no_operands(self):
+        for op in (Opcode.NOP, Opcode.RET, Opcode.HALT):
+            inst = Instruction(op=op)
+            assert inst.read_registers() == ()
+            assert inst.written_register() is None
+
+
+class TestClassification:
+    def test_conditional_branches(self):
+        beqz = Instruction(op=Opcode.BEQZ, src1=1, target=0)
+        assert beqz.is_conditional_branch
+        assert beqz.is_control
+        assert not beqz.is_call
+
+    def test_jump_is_control_not_conditional(self):
+        jmp = Instruction(op=Opcode.JMP, target=0)
+        assert jmp.is_control
+        assert not jmp.is_conditional_branch
+
+    def test_call_return(self):
+        call = Instruction(op=Opcode.CALL, target=0)
+        ret = Instruction(op=Opcode.RET)
+        assert call.is_call and call.is_control
+        assert ret.is_return and ret.is_control
+
+    def test_memory_ops(self):
+        ld = Instruction(op=Opcode.LD, dest=1, src1=2, imm=0)
+        st = Instruction(op=Opcode.ST, src1=2, src2=3, imm=0)
+        assert ld.is_load and not ld.is_store
+        assert st.is_store and not st.is_load
+
+    def test_compare_opcodes_are_alu(self):
+        assert COMPARE_OPCODES <= ALU_OPCODES
+
+    def test_cond_branch_opcode_set(self):
+        assert COND_BRANCH_OPCODES == {Opcode.BEQZ, Opcode.BNEZ}
+
+
+class TestLatency:
+    def test_default_latency(self):
+        inst = Instruction(op=Opcode.ADD, dest=1, src1=2, imm=0)
+        assert inst.latency == DEFAULT_LATENCY
+
+    def test_long_latency_ops(self):
+        mul = Instruction(op=Opcode.MUL, dest=1, src1=2, src2=3)
+        div = Instruction(op=Opcode.DIV, dest=1, src1=2, src2=3)
+        assert mul.latency == LATENCIES[Opcode.MUL]
+        assert div.latency > mul.latency
+
+
+class TestFormatting:
+    def test_alu_format(self):
+        inst = Instruction(op=Opcode.ADD, dest=1, src1=2, imm=5)
+        assert inst.format() == "add r1, r2, 5"
+
+    def test_branch_format(self):
+        inst = Instruction(op=Opcode.BNEZ, src1=3, target=17)
+        assert inst.format() == "bnez r3, @17"
+
+    def test_memory_format(self):
+        ld = Instruction(op=Opcode.LD, dest=1, src1=2, imm=8)
+        st = Instruction(op=Opcode.ST, src1=2, src2=4, imm=0)
+        assert ld.format() == "ld r1, 8(r2)"
+        assert st.format() == "st r4, 0(r2)"
+
+    def test_str_matches_format(self):
+        inst = Instruction(op=Opcode.NOP)
+        assert str(inst) == inst.format() == "nop"
+
+
+class TestRetarget:
+    def test_retarget_preserves_fields(self):
+        inst = Instruction(op=Opcode.BEQZ, src1=4, target=0, label="x")
+        moved = inst.retarget(9)
+        assert moved.target == 9
+        assert moved.src1 == 4
+        assert moved.label == "x"
+        assert inst.target == 0  # original untouched
+
+    def test_zero_register_writes_reported(self):
+        inst = Instruction(op=Opcode.ADD, dest=0, src1=1, imm=1)
+        # The encoding reports r0; consumers decide to ignore it.
+        assert inst.written_register() == 0

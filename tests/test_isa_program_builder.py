@@ -1,0 +1,178 @@
+"""Tests for Program validation and the ProgramBuilder."""
+
+import pytest
+
+from repro.errors import AssemblerError, CFGError
+from repro.isa import Instruction, Opcode, Program, ProgramBuilder
+from repro.isa.program import Function
+
+
+def _tiny():
+    builder = ProgramBuilder("tiny")
+    builder.begin_function("main")
+    builder.movi(1, 5)
+    builder.halt()
+    builder.end_function()
+    return builder.build()
+
+
+class TestBuilder:
+    def test_forward_label_reference(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.beqz(1, "skip")
+        b.addi(2, 2, 1)
+        b.label("skip")
+        b.halt()
+        b.end_function()
+        program = b.build()
+        assert program[0].target == 2
+
+    def test_backward_label_reference(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.label("top")
+        b.addi(1, 1, -1)
+        b.bnez(1, "top")
+        b.halt()
+        b.end_function()
+        program = b.build()
+        assert program[1].target == 0
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.jmp("nowhere")
+        b.end_function()
+        with pytest.raises(AssemblerError, match="nowhere"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.label("x")
+        b.nop()
+        with pytest.raises(AssemblerError, match="duplicate"):
+            b.label("x")
+
+    def test_call_resolves_to_function_entry(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.call("helper")
+        b.halt()
+        b.end_function()
+        b.begin_function("helper")
+        b.ret()
+        b.end_function()
+        program = b.build()
+        assert program[0].target == program.function_named("helper").start
+
+    def test_unclosed_function_raises(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.nop()
+        with pytest.raises(AssemblerError, match="never closed"):
+            b.build()
+
+    def test_empty_function_raises(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        with pytest.raises(AssemblerError, match="empty"):
+            b.end_function()
+
+    def test_nested_function_open_raises(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        with pytest.raises(AssemblerError, match="still open"):
+            b.begin_function("other")
+
+    def test_emit_outside_function_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError, match="outside"):
+            b.nop()
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        names = {b.fresh_label("L") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        assert b.here == 0
+        b.nop()
+        assert b.here == 1
+
+
+class TestProgram:
+    def test_entry_is_first_function_start(self):
+        program = _tiny()
+        assert program.entry == 0
+
+    def test_function_of(self):
+        b = ProgramBuilder()
+        b.begin_function("main")
+        b.call("f")
+        b.halt()
+        b.end_function()
+        b.begin_function("f")
+        b.ret()
+        b.end_function()
+        program = b.build()
+        assert program.function_of(0).name == "main"
+        assert program.function_of(2).name == "f"
+        with pytest.raises(CFGError):
+            program.function_of(99)
+
+    def test_function_named_missing(self):
+        with pytest.raises(CFGError, match="no function"):
+            _tiny().function_named("ghost")
+
+    def test_branch_may_not_leave_function(self):
+        insts = [
+            Instruction(op=Opcode.JMP, target=2),
+            Instruction(op=Opcode.HALT),
+            Instruction(op=Opcode.RET),
+        ]
+        functions = [Function("main", 0, 2), Function("f", 2, 3)]
+        with pytest.raises(CFGError, match="leaves function"):
+            Program(insts, functions)
+
+    def test_call_must_target_function_entry(self):
+        insts = [
+            Instruction(op=Opcode.CALL, target=1),
+            Instruction(op=Opcode.HALT),
+            Instruction(op=Opcode.RET),
+        ]
+        functions = [Function("main", 0, 2), Function("f", 2, 3)]
+        with pytest.raises(CFGError, match="not a function entry"):
+            Program(insts, functions)
+
+    def test_functions_must_tile(self):
+        insts = [Instruction(op=Opcode.HALT)] * 3
+        with pytest.raises(CFGError):
+            Program(insts, [Function("main", 0, 2)])
+
+    def test_duplicate_function_names(self):
+        insts = [Instruction(op=Opcode.HALT)] * 2
+        with pytest.raises(CFGError, match="duplicate"):
+            Program(
+                insts, [Function("m", 0, 1), Function("m", 1, 2)]
+            )
+
+    def test_conditional_branch_pcs(self, simple_hammock_program):
+        pcs = simple_hammock_program.conditional_branch_pcs()
+        assert pcs
+        assert all(
+            simple_hammock_program[pc].is_conditional_branch for pc in pcs
+        )
+
+    def test_disassemble_mentions_functions_and_pcs(self):
+        text = _tiny().disassemble()
+        assert "main:" in text
+        assert "movi r1, 5" in text
+
+    def test_len_and_getitem(self):
+        program = _tiny()
+        assert len(program) == 2
+        assert program[1].is_halt

@@ -1,0 +1,67 @@
+"""Tests for the prior-work mark generators."""
+
+import pytest
+
+from repro.core.marks import DivergeKind
+from repro.core.simple_algorithms import (
+    select_dual_path,
+    select_dynamic_hammock,
+    select_if_else,
+)
+from repro.profiling import Profiler
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    workload = load_benchmark("li", scale=0.2)
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    return workload.program, profile
+
+
+class TestDualPath:
+    def test_marks_every_branch_without_cfm(self, artifacts):
+        program, profile = artifacts
+        annotation = select_dual_path(program, profile)
+        executed = set(profile.edge_profile.executed_branch_pcs())
+        assert {b.branch_pc for b in annotation} == executed
+        assert all(not b.cfm_points for b in annotation)
+
+    def test_source_label(self, artifacts):
+        program, profile = artifacts
+        annotation = select_dual_path(program, profile)
+        assert all(b.source == "dual-path" for b in annotation)
+
+
+class TestDynamicHammock:
+    def test_only_simple_hammocks(self, artifacts):
+        program, profile = artifacts
+        annotation = select_dynamic_hammock(program, profile)
+        assert len(annotation) > 0
+        assert all(
+            b.kind is DivergeKind.SIMPLE_HAMMOCK for b in annotation
+        )
+
+    def test_size_bound_respected(self, artifacts):
+        program, profile = artifacts
+        tight = select_dynamic_hammock(program, profile,
+                                       max_hammock_insts=2)
+        loose = select_dynamic_hammock(program, profile,
+                                       max_hammock_insts=32)
+        assert len(tight) <= len(loose)
+
+    def test_subset_of_if_else(self, artifacts):
+        program, profile = artifacts
+        hammock = {
+            b.branch_pc
+            for b in select_dynamic_hammock(program, profile,
+                                            max_hammock_insts=16)
+        }
+        ifelse = {b.branch_pc for b in select_if_else(program, profile)}
+        # With the default 50-inst bound, if-else is a superset of the
+        # 16-inst Klauser-style selection.
+        assert hammock <= ifelse

@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branchpred import (
+    BimodalPredictor,
+    GsharePredictor,
+    JRSConfidenceEstimator,
+    PerceptronPredictor,
+)
+from repro.cfg import build_cfgs, enumerate_paths
+from repro.emulator import execute
+from repro.isa import ProgramBuilder
+from repro.memory import Cache
+from repro.uarch import simulate
+from repro.workloads.behaviors import BehaviorRNG
+
+# -- emulator arithmetic ------------------------------------------------------
+
+_WRAP = 1 << 64
+_SIGN = 1 << 63
+
+
+def _wrap64(v):
+    v &= _WRAP - 1
+    return v - _WRAP if v & _SIGN else v
+
+
+@st.composite
+def two_operands(draw):
+    bound = (1 << 63) - 1
+    return (
+        draw(st.integers(min_value=-bound, max_value=bound)),
+        draw(st.integers(min_value=-bound, max_value=bound)),
+    )
+
+
+@given(two_operands())
+@settings(max_examples=60, deadline=None)
+def test_emulated_add_matches_wrapped_python(ops):
+    a, b = ops
+    builder = ProgramBuilder()
+    builder.begin_function("main")
+    builder.movi(1, a)
+    builder.movi(2, b)
+    builder.add(3, 1, 2)
+    builder.sub(4, 1, 2)
+    builder.xor(5, 1, 2)
+    builder.halt()
+    builder.end_function()
+    _, result = execute(builder.build())
+    assert result.state.regs[3] == _wrap64(a + b)
+    assert result.state.regs[4] == _wrap64(a - b)
+    assert result.state.regs[5] == a ^ b
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_branch_outcomes_follow_data(bits):
+    builder = ProgramBuilder()
+    builder.begin_function("main")
+    builder.movi(1, 0)
+    builder.movi(2, len(bits))
+    builder.label("loop")
+    builder.cmpge(4, 1, 2)
+    builder.bnez(4, "done")
+    builder.ld(3, 1, 0)
+    taken_l = builder.fresh_label("t")
+    merge_l = builder.fresh_label("m")
+    builder.bnez(3, taken_l)
+    builder.addi(6, 6, 1)
+    builder.jmp(merge_l)
+    builder.label(taken_l)
+    builder.addi(7, 7, 1)
+    builder.label(merge_l)
+    builder.addi(1, 1, 1)
+    builder.jmp("loop")
+    builder.label("done")
+    builder.halt()
+    builder.end_function()
+    program = builder.build()
+    memory = dict(enumerate(bits))
+    _, result = execute(program, memory=memory)
+    assert result.state.regs[7] == sum(bits)
+    assert result.state.regs[6] == len(bits) - sum(bits)
+
+
+# -- caches -------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=512), min_size=1,
+             max_size=300),
+    st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_agrees_with_reference_lru(addresses, assoc):
+    cache = Cache("t", num_sets=4, associativity=assoc, words_per_line=4)
+    # reference model: per-set list of line tags in LRU order
+    sets = [[] for _ in range(4)]
+    for address in addresses:
+        line = address // 4
+        index = line % 4
+        ref = sets[index]
+        expect_hit = line in ref
+        if expect_hit:
+            ref.remove(line)
+        ref.append(line)
+        if len(ref) > assoc:
+            ref.pop(0)
+        assert cache.access(address) == expect_hit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1))
+@settings(max_examples=30, deadline=None)
+def test_cache_stats_invariant(addresses):
+    cache = Cache("t", num_sets=8, associativity=2)
+    for address in addresses:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(addresses)
+    assert 0.0 <= cache.miss_rate <= 1.0
+
+
+# -- predictors ---------------------------------------------------------------
+
+
+@given(
+    st.sampled_from(["bimodal", "gshare", "perceptron"]),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+        min_size=1,
+        max_size=300,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_predictors_always_return_bool_and_stay_deterministic(kind, stream):
+    from repro.branchpred import make_predictor
+
+    a = make_predictor(kind)
+    b = make_predictor(kind)
+    for pc, taken in stream:
+        pa = a.predict(pc)
+        pb = b.predict(pc)
+        assert isinstance(pa, bool) or pa in (True, False)
+        assert pa == pb
+        a.update(pc, taken)
+        b.update(pc, taken)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=400))
+@settings(max_examples=30, deadline=None)
+def test_jrs_pvn_is_a_probability(outcomes):
+    jrs = JRSConfidenceEstimator(history_bits=0)
+    rng = random.Random(1)
+    for mispredicted in outcomes:
+        jrs.update(rng.randrange(32), mispredicted)
+    assert 0.0 <= jrs.pvn <= 1.0
+    assert 0.0 <= jrs.coverage <= 1.0
+
+
+# -- path enumeration ---------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**30), st.floats(0.1, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_path_probabilities_bounded(seed, p_taken):
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    builder.begin_function("main")
+    builder.movi(1, 1)
+    merge = builder.fresh_label("merge")
+    side = builder.fresh_label("side")
+    builder.bnez(1, side)
+    for i in range(rng.randrange(1, 6)):
+        builder.addi(2, 2, 1)
+    builder.jmp(merge)
+    builder.label(side)
+    for i in range(rng.randrange(1, 6)):
+        builder.addi(3, 3, 1)
+    builder.label(merge)
+    builder.halt()
+    builder.end_function()
+    program = builder.build()
+    cfg = build_cfgs(program)["main"]
+    ps = enumerate_paths(
+        cfg, 1, lambda pc, taken: p_taken if taken else 1 - p_taken,
+        max_instr=50, max_cbr=5,
+    )
+    for direction in ("taken", "nottaken"):
+        total = sum(p.prob for p in ps.paths(direction))
+        assert total <= 1.0 + 1e-9
+        for pc, prob in ps.reach_prob(direction).items():
+            assert 0.0 <= prob <= 1.0 + 1e-9
+
+
+# -- behaviors ----------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**30), st.floats(0.05, 0.95))
+@settings(max_examples=25, deadline=None)
+def test_behavior_streams_are_bits(seed, p):
+    rng = BehaviorRNG(seed)
+    for stream in (
+        rng.biased(200, p),
+        rng.markov(200, p_same=p),
+        rng.pattern(200, noise=min(0.45, p)),
+        rng.bursty(200, hard_fraction=p),
+    ):
+        assert len(stream) == 200
+        assert set(stream) <= {0, 1}
+
+
+@given(st.integers(min_value=0, max_value=2**30),
+       st.floats(1.0, 20.0))
+@settings(max_examples=25, deadline=None)
+def test_trip_streams_are_positive(seed, mean):
+    rng = BehaviorRNG(seed)
+    for trips in (
+        rng.geometric_trips(100, mean),
+        rng.jittery_trips(100, mean),
+        rng.uniform_trips(100, max(1, int(mean * 0.5)),
+                          max(2, int(mean * 1.5))),
+    ):
+        assert all(t >= 1 for t in trips)
+
+
+# -- timing simulator invariants ----------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**30))
+@settings(max_examples=10, deadline=None)
+def test_simulator_cycle_count_sane(seed):
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    builder.begin_function("main")
+    builder.movi(1, 0)
+    builder.movi(2, 50)
+    builder.label("loop")
+    builder.cmpge(4, 1, 2)
+    builder.bnez(4, "done")
+    builder.ld(3, 1, 0)
+    t, m = builder.fresh_label("t"), builder.fresh_label("m")
+    builder.bnez(3, t)
+    builder.addi(6, 6, 1)
+    builder.jmp(m)
+    builder.label(t)
+    builder.addi(7, 7, 1)
+    builder.label(m)
+    builder.addi(1, 1, 1)
+    builder.jmp("loop")
+    builder.label("done")
+    builder.halt()
+    builder.end_function()
+    program = builder.build()
+    memory = {i: rng.randrange(2) for i in range(50)}
+    trace, _ = execute(program, memory=memory)
+    stats = simulate(program, trace)
+    # cycles at least trace/fetch_width, at most a generous bound
+    assert stats.cycles >= len(trace) // 8
+    assert stats.cycles <= len(trace) * 400
+    assert stats.retired_instructions == len(trace)

@@ -1,0 +1,155 @@
+"""End-to-end DivergeSelector tests across configurations."""
+
+import pytest
+
+from repro.core import (
+    DivergeKind,
+    DivergeSelector,
+    SelectionConfig,
+    select_diverge_branches,
+)
+from repro.profiling import Profiler
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def twolf_artifacts():
+    workload = load_benchmark("twolf", scale=0.6)
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    return workload.program, profile
+
+
+class TestConfigurations:
+    def test_exact_only_excludes_frequently(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig(enable_freq=False)
+        )
+        assert not annotation.branches_of_kind(
+            DivergeKind.FREQUENTLY_HAMMOCK
+        )
+
+    def test_freq_adds_frequently_hammocks(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig()
+        )
+        assert annotation.branches_of_kind(DivergeKind.FREQUENTLY_HAMMOCK)
+
+    def test_all_best_heur_has_every_mechanism(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig.all_best_heur()
+        )
+        assert any(b.always_predicate for b in annotation)
+        assert any(b.has_return_cfm for b in annotation)
+
+    def test_cumulative_configs_grow_selection(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        sizes = []
+        for config in (
+            SelectionConfig(enable_freq=False),
+            SelectionConfig(),
+            SelectionConfig(enable_short=True, enable_return_cfm=True),
+            SelectionConfig.all_best_heur(),
+        ):
+            sizes.append(
+                len(select_diverge_branches(program, profile, config))
+            )
+        assert sizes == sorted(sizes)
+
+    def test_no_duplicate_marks(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig.all_best_heur()
+        )
+        pcs = [b.branch_pc for b in annotation]
+        assert len(pcs) == len(set(pcs))
+
+    def test_all_marks_are_conditional_branches(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig.all_best_heur()
+        )
+        for branch in annotation:
+            assert program[branch.branch_pc].is_conditional_branch
+
+
+class TestCostModelMode:
+    def test_cost_mode_produces_reports(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        selector = DivergeSelector(
+            program, profile, SelectionConfig.all_best_cost()
+        )
+        annotation = selector.select()
+        assert selector.cost_reports
+        assert len(annotation) > 0
+        # every selected non-short, non-loop mark had a negative cost
+        selected_pcs = {
+            b.branch_pc
+            for b in annotation
+            if not b.always_predicate and b.kind is not DivergeKind.LOOP
+        }
+        negative = {
+            r.branch_pc for r in selector.cost_reports if r.selected
+        }
+        assert selected_pcs <= negative
+
+    def test_cost_long_vs_edge_both_work(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        for method in ("long", "edge"):
+            annotation = select_diverge_branches(
+                program,
+                profile,
+                SelectionConfig(cost_model=method, name=f"cost-{method}"),
+            )
+            assert len(annotation) > 0
+
+    def test_cost_mode_rejects_splits(self, twolf_artifacts):
+        # twolf contains a "split" region (~110-inst sides) that the
+        # cost model must reject.
+        program, profile = twolf_artifacts
+        selector = DivergeSelector(
+            program, profile, SelectionConfig(cost_model="edge")
+        )
+        selector.select()
+        rejected = [r for r in selector.cost_reports if not r.selected]
+        assert rejected
+
+    def test_loop_reports_populated(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        selector = DivergeSelector(
+            program, profile, SelectionConfig.all_best_heur()
+        )
+        selector.select()
+        # twolf has no diverge loops but the pass still ran; use gzip
+        workload = load_benchmark("gzip", scale=0.3)
+        profile2 = Profiler().profile(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+        )
+        selector2 = DivergeSelector(
+            workload.program, profile2, SelectionConfig.all_best_heur()
+        )
+        annotation = selector2.select()
+        assert selector2.loop_reports
+        assert annotation.branches_of_kind(DivergeKind.LOOP)
+
+
+class TestSelectRegisters:
+    def test_hammock_select_registers_written_inside(self, twolf_artifacts):
+        program, profile = twolf_artifacts
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig()
+        )
+        for branch in annotation:
+            if branch.kind is DivergeKind.LOOP or branch.has_return_cfm:
+                continue
+            # every select register is written by some instruction
+            # between the branch and its furthest CFM
+            assert all(0 < reg < 64 for reg in branch.select_registers)

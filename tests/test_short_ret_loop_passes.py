@@ -1,0 +1,178 @@
+"""Tests for the short-hammock, return-CFM, and diverge-loop passes."""
+
+import pytest
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.loop_selection import select_loop_diverge_branches
+from repro.core.marks import CFMKind, DivergeKind
+from repro.core.return_cfm import find_return_cfm_candidates
+from repro.core.short_hammocks import apply_short_hammock_heuristic
+from repro.core.thresholds import SelectionThresholds
+from repro.isa import assemble
+from repro.profiling import Profiler
+
+
+def analyze(program, memory):
+    profile = Profiler().profile(program, memory=memory)
+    return ProgramAnalysis(program, profile), profile
+
+
+class TestShortHammocks:
+    def _candidates(self, memory):
+        program = assemble(
+            """
+            .func main
+                movi r1, 0
+                movi r2, 150
+            loop:
+                cmpge r4, r1, r2
+                bnez r4, done
+                ld r3, 0(r1)
+                bnez r3, then
+                addi r6, r6, 1
+                jmp merge
+            then:
+                addi r7, r7, 1
+            merge:
+                addi r1, r1, 1
+                jmp loop
+            done:
+                halt
+            .endfunc
+            """
+        )
+        analysis, profile = analyze(program, memory)
+        candidates = find_exact_candidates(
+            analysis, SelectionThresholds()
+        )
+        return candidates, profile
+
+    def test_hard_tiny_hammock_qualifies(self):
+        # A genuinely unpredictable condition (the alternating fixture
+        # is period-2 and the perceptron learns it below the 5% gate).
+        import random
+
+        rng = random.Random(5)
+        memory = {i: rng.randrange(2) for i in range(200)}
+        candidates, profile = self._candidates(memory)
+        short, regular = apply_short_hammock_heuristic(
+            candidates, profile, SelectionThresholds()
+        )
+        assert 5 in short  # the bnez r3 hammock
+        assert all(c.branch_pc != 5 for c in regular)
+
+    def test_predictable_hammock_does_not_qualify(self):
+        # always-0 condition: misprediction rate ~0 < 5%
+        memory = {i: 0 for i in range(200)}
+        candidates, profile = self._candidates(memory)
+        short, regular = apply_short_hammock_heuristic(
+            candidates, profile, SelectionThresholds()
+        )
+        assert 5 not in short
+
+    def test_misp_rate_threshold_honoured(self, alternating_memory):
+        candidates, profile = self._candidates(alternating_memory)
+        strict = SelectionThresholds().with_overrides(
+            short_hammock_min_misp_rate=0.99
+        )
+        short, _ = apply_short_hammock_heuristic(
+            candidates, profile, strict
+        )
+        assert short == {}
+
+    def test_size_threshold_honoured(self, alternating_memory):
+        candidates, profile = self._candidates(alternating_memory)
+        tiny = SelectionThresholds().with_overrides(
+            short_hammock_max_insts=1
+        )
+        short, _ = apply_short_hammock_heuristic(candidates, profile, tiny)
+        assert short == {}
+
+
+class TestReturnCFM:
+    def test_two_return_hammock_found(self, call_program,
+                                      alternating_memory):
+        analysis, profile = analyze(call_program, alternating_memory)
+        candidates = find_return_cfm_candidates(
+            analysis, SelectionThresholds()
+        )
+        helper_branch = call_program.function_named("helper").start + 1
+        match = [c for c in candidates if c.branch_pc == helper_branch]
+        assert len(match) == 1
+        cfm = match[0].cfm_points[0]
+        assert cfm.kind is CFMKind.RETURN
+        assert cfm.pc is None
+        assert cfm.merge_prob > 0.9
+
+    def test_excluded_branches_skipped(self, call_program,
+                                       alternating_memory):
+        analysis, _ = analyze(call_program, alternating_memory)
+        helper_branch = call_program.function_named("helper").start + 1
+        candidates = find_return_cfm_candidates(
+            analysis, SelectionThresholds(), exclude_pcs={helper_branch}
+        )
+        assert helper_branch not in {c.branch_pc for c in candidates}
+
+    def test_normal_hammock_not_a_return_cfm(self, simple_hammock_program,
+                                             alternating_memory):
+        analysis, _ = analyze(simple_hammock_program, alternating_memory)
+        candidates = find_return_cfm_candidates(
+            analysis, SelectionThresholds()
+        )
+        assert 6 not in {c.branch_pc for c in candidates}
+
+
+class TestLoopSelection:
+    def _select(self, loop_program, trips, thresholds=None):
+        memory = {i: trips(i) for i in range(100)}
+        analysis, _ = analyze(loop_program, memory)
+        return select_loop_diverge_branches(
+            analysis, thresholds or SelectionThresholds()
+        )
+
+    def test_small_loop_selected(self, loop_program):
+        selected, reports = self._select(loop_program,
+                                         lambda i: (i % 3) + 1)
+        latch = next(
+            b for b in selected if b.kind is DivergeKind.LOOP
+        )
+        assert latch.loop_direction is True  # taken continues the loop
+        assert latch.loop_body_size > 0
+        assert latch.cfm_points[0].kind is CFMKind.LOOP_EXIT
+        assert latch.cfm_points[0].pc == latch.branch_pc + 1
+
+    def test_high_iteration_loop_rejected(self, loop_program):
+        selected, reports = self._select(loop_program, lambda i: 40)
+        assert all(b.kind is not DivergeKind.LOOP or False
+                   for b in selected) or not selected
+        rejected = [r for r in reports if not r.accepted]
+        assert any("iterations" in r.reject_reason
+                   or "dynamic" in r.reject_reason for r in rejected)
+
+    def test_dynamic_size_rejection(self, loop_program):
+        thresholds = SelectionThresholds().with_overrides(
+            dynamic_loop_size=4
+        )
+        selected, reports = self._select(
+            loop_program, lambda i: (i % 3) + 1, thresholds
+        )
+        assert not selected
+        assert any("dynamic" in r.reject_reason for r in reports)
+
+    def test_static_size_rejection(self, loop_program):
+        thresholds = SelectionThresholds().with_overrides(
+            static_loop_size=1
+        )
+        selected, reports = self._select(
+            loop_program, lambda i: (i % 3) + 1, thresholds
+        )
+        assert not selected
+        assert any("static" in r.reject_reason for r in reports)
+
+    def test_select_registers_cover_loop_body(self, loop_program):
+        selected, _ = self._select(loop_program, lambda i: (i % 3) + 1)
+        latch = selected[0]
+        # body writes r5 (accumulator) and r3 (counter)
+        assert 5 in latch.select_registers
+        assert 3 in latch.select_registers

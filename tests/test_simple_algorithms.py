@@ -1,0 +1,102 @@
+"""Tests for the §7.2 simple selection baselines."""
+
+import pytest
+
+from repro.core.marks import DivergeKind
+from repro.core.simple_algorithms import (
+    SIMPLE_ALGORITHMS,
+    select_every_br,
+    select_high_bp,
+    select_if_else,
+    select_immediate,
+    select_random_50,
+)
+from repro.profiling import Profiler
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    workload = load_benchmark("gcc", scale=0.25)
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    return workload.program, profile
+
+
+def test_every_br_marks_all_executed_branches(artifacts):
+    program, profile = artifacts
+    annotation = select_every_br(program, profile)
+    executed = set(profile.edge_profile.executed_branch_pcs())
+    assert {b.branch_pc for b in annotation} == executed
+
+
+def test_every_br_uses_iposdom_when_available(artifacts):
+    program, profile = artifacts
+    annotation = select_every_br(program, profile)
+    with_cfm = [b for b in annotation if b.cfm_points]
+    without_cfm = [b for b in annotation if not b.cfm_points]
+    assert with_cfm  # most branches have an IPOSDOM
+    # branches inside two-return helpers have none (dual-path marks)
+    assert without_cfm
+
+
+def test_random_50_is_seeded_and_half_sized(artifacts):
+    program, profile = artifacts
+    a = select_random_50(program, profile, seed=42)
+    b = select_random_50(program, profile, seed=42)
+    c = select_random_50(program, profile, seed=43)
+    assert {x.branch_pc for x in a} == {x.branch_pc for x in b}
+    assert {x.branch_pc for x in a} != {x.branch_pc for x in c}
+    full = len(profile.edge_profile.executed_branch_pcs())
+    assert len(a) == int(full * 0.5)
+
+
+def test_high_bp_threshold(artifacts):
+    program, profile = artifacts
+    annotation = select_high_bp(program, profile, min_misp_rate=0.05)
+    for branch in annotation:
+        rate = profile.branch_profile.misprediction_rate(branch.branch_pc)
+        assert rate > 0.05
+
+
+def test_immediate_requires_iposdom(artifacts):
+    program, profile = artifacts
+    annotation = select_immediate(program, profile)
+    assert all(b.cfm_points for b in annotation)
+
+
+def test_if_else_only_simple_hammocks(artifacts):
+    program, profile = artifacts
+    annotation = select_if_else(program, profile)
+    assert len(annotation) > 0
+    assert all(
+        b.kind is DivergeKind.SIMPLE_HAMMOCK for b in annotation
+    )
+
+
+def test_registry_contains_all_five(artifacts):
+    assert set(SIMPLE_ALGORITHMS) == {
+        "every-br",
+        "random-50",
+        "high-bp-5",
+        "immediate",
+        "if-else",
+    }
+    program, profile = artifacts
+    for select in SIMPLE_ALGORITHMS.values():
+        annotation = select(program, profile)
+        assert annotation.program_name == program.name
+
+
+def test_subset_relations(artifacts):
+    program, profile = artifacts
+    every = {b.branch_pc for b in select_every_br(program, profile)}
+    high = {b.branch_pc for b in select_high_bp(program, profile)}
+    immediate = {b.branch_pc for b in select_immediate(program, profile)}
+    ifelse = {b.branch_pc for b in select_if_else(program, profile)}
+    assert high <= every
+    assert immediate <= every
+    assert ifelse <= immediate

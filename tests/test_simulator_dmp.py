@@ -1,0 +1,221 @@
+"""DMP-mode timing-simulator tests."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BinaryAnnotation,
+    CFMKind,
+    CFMPoint,
+    DivergeBranch,
+    DivergeKind,
+    SelectionConfig,
+    select_diverge_branches,
+)
+from repro.emulator import execute
+from repro.isa import assemble
+from repro.profiling import Profiler
+from repro.uarch import simulate
+
+
+HAMMOCK = """
+.func main
+    movi r1, 0
+    movi r2, 500
+loop:
+    cmpge r4, r1, r2
+    bnez r4, done
+    ld r3, 0(r1)
+    bnez r3, then
+    addi r6, r6, 1
+    addi r6, r6, 2
+    jmp merge
+then:
+    addi r7, r7, 1
+    addi r7, r7, 2
+merge:
+    addi r8, r8, 1
+    addi r1, r1, 1
+    jmp loop
+done:
+    halt
+.endfunc
+"""
+
+HAMMOCK_BRANCH = 5
+HAMMOCK_MERGE = 11
+
+
+def hammock_setup(seed=1):
+    program = assemble(HAMMOCK)
+    rng = random.Random(seed)
+    memory = {i: rng.randrange(2) for i in range(500)}
+    trace, _ = execute(program, memory=memory)
+    return program, trace
+
+
+def hammock_annotation(always=False):
+    return BinaryAnnotation(
+        "h",
+        [
+            DivergeBranch(
+                branch_pc=HAMMOCK_BRANCH,
+                kind=DivergeKind.SIMPLE_HAMMOCK,
+                cfm_points=(
+                    CFMPoint(pc=HAMMOCK_MERGE, kind=CFMKind.EXACT),
+                ),
+                select_registers=frozenset({6, 7}),
+                always_predicate=always,
+            )
+        ],
+    )
+
+
+class TestHammockEpisodes:
+    def test_dpred_avoids_flushes_and_speeds_up(self):
+        program, trace = hammock_setup()
+        base = simulate(program, trace, label="base")
+        dmp = simulate(program, trace, annotation=hammock_annotation(),
+                       label="dmp")
+        assert dmp.dpred_episodes > 0
+        assert dmp.dpred_flushes_avoided > 0
+        assert dmp.pipeline_flushes < base.pipeline_flushes
+        assert dmp.ipc > base.ipc
+
+    def test_episodes_merge_at_cfm(self):
+        program, trace = hammock_setup()
+        dmp = simulate(program, trace, annotation=hammock_annotation())
+        assert dmp.merge_rate > 0.9
+        assert dmp.dpred_select_uops > 0
+        assert dmp.dpred_wrong_path_insts > 0
+
+    def test_always_predicate_enters_more_episodes(self):
+        program, trace = hammock_setup()
+        gated = simulate(program, trace, annotation=hammock_annotation())
+        always = simulate(
+            program, trace, annotation=hammock_annotation(always=True)
+        )
+        assert always.dpred_episodes >= gated.dpred_episodes
+        # always-predication covers every misprediction of the branch
+        assert always.pipeline_flushes <= gated.pipeline_flushes
+
+    def test_mispredictions_still_counted(self):
+        program, trace = hammock_setup()
+        base = simulate(program, trace)
+        dmp = simulate(program, trace, annotation=hammock_annotation())
+        # DMP avoids flushes, not mispredictions
+        assert dmp.mispredictions == base.mispredictions
+
+    def test_baseline_ignores_annotation_when_none(self):
+        program, trace = hammock_setup()
+        stats = simulate(program, trace, annotation=None)
+        assert stats.dpred_episodes == 0
+
+
+class TestDualPath:
+    def test_cfm_less_mark_degrades_to_dual_path(self):
+        program, trace = hammock_setup()
+        annotation = BinaryAnnotation(
+            "h",
+            [
+                DivergeBranch(
+                    branch_pc=HAMMOCK_BRANCH,
+                    kind=DivergeKind.FREQUENTLY_HAMMOCK,
+                    cfm_points=(),
+                )
+            ],
+        )
+        base = simulate(program, trace)
+        dmp = simulate(program, trace, annotation=annotation)
+        assert dmp.dpred_episodes > 0
+        assert dmp.dpred_episodes_merged == 0
+        # dual-path still avoids flushes for covered mispredictions
+        assert dmp.pipeline_flushes < base.pipeline_flushes
+
+
+LOOP = """
+.func main
+    movi r1, 0
+    movi r2, 400
+outer:
+    cmpge r4, r1, r2
+    bnez r4, done
+    ld r3, 0(r1)
+inner:
+    addi r5, r5, 1
+    addi r3, r3, -1
+    bnez r3, inner
+    addi r6, r6, 1
+    addi r1, r1, 1
+    jmp outer
+done:
+    halt
+.endfunc
+"""
+
+LOOP_LATCH = 7
+
+
+def loop_setup():
+    program = assemble(LOOP)
+    rng = random.Random(3)
+    # geometric-ish trips, mean ~3: unpredictable exits
+    memory = {}
+    for i in range(400):
+        trips = 1
+        while trips < 12 and rng.random() > 1 / 3:
+            trips += 1
+        memory[i] = trips
+    trace, _ = execute(program, memory=memory)
+    return program, trace
+
+
+def loop_annotation():
+    return BinaryAnnotation(
+        "l",
+        [
+            DivergeBranch(
+                branch_pc=LOOP_LATCH,
+                kind=DivergeKind.LOOP,
+                cfm_points=(
+                    CFMPoint(pc=LOOP_LATCH + 1, kind=CFMKind.LOOP_EXIT),
+                ),
+                select_registers=frozenset({3, 5}),
+                loop_direction=True,
+                loop_body_size=3,
+            )
+        ],
+    )
+
+
+class TestLoopEpisodes:
+    def test_loop_dpred_avoids_exit_flushes(self):
+        program, trace = loop_setup()
+        base = simulate(program, trace)
+        dmp = simulate(program, trace, annotation=loop_annotation())
+        assert dmp.dpred_episodes_loop > 0
+        assert dmp.dpred_flushes_avoided > 0
+        assert dmp.pipeline_flushes < base.pipeline_flushes
+        assert dmp.ipc > base.ipc
+
+    def test_loop_selects_charged(self):
+        program, trace = loop_setup()
+        dmp = simulate(program, trace, annotation=loop_annotation())
+        assert dmp.dpred_select_uops > 0
+
+
+class TestEndToEndPipeline:
+    def test_selection_to_simulation(self):
+        program = assemble(HAMMOCK)
+        rng = random.Random(1)
+        memory = {i: rng.randrange(2) for i in range(500)}
+        profile = Profiler().profile(program, memory=memory)
+        annotation = select_diverge_branches(
+            program, profile, SelectionConfig.all_best_heur()
+        )
+        assert annotation.is_diverge(HAMMOCK_BRANCH)
+        trace, _ = execute(program, memory=memory)
+        base = simulate(program, trace)
+        dmp = simulate(program, trace, annotation=annotation)
+        assert dmp.ipc > base.ipc

@@ -1,0 +1,163 @@
+"""Tests for wrong-path synthesis and the bias table."""
+
+from repro.isa import assemble
+from repro.uarch.wrongpath import BiasTable, WrongPathWalker, walk_wrong_path
+
+
+class TestBiasTable:
+    def test_defaults_to_taken(self):
+        assert BiasTable().predict(5) is True
+
+    def test_learns_direction(self):
+        bias = BiasTable()
+        for _ in range(3):
+            bias.record(5, False)
+        assert bias.predict(5) is False
+        for _ in range(4):
+            bias.record(5, True)
+        assert bias.predict(5) is True
+
+    def test_saturates(self):
+        bias = BiasTable()
+        for _ in range(100):
+            bias.record(5, False)
+        bias.record(5, True)
+        bias.record(5, True)
+        # 2-bit hysteresis: two updates take it back to weakly taken
+        assert bias.predict(5) is True
+
+
+def _program():
+    return assemble(
+        """
+        .func main
+            movi r1, 1
+            bnez r1, side      ; diverge branch at pc 1
+            addi r2, r2, 1
+            addi r2, r2, 2
+            jmp merge
+        side:
+            addi r3, r3, 1
+        merge:
+            addi r4, r4, 1
+            halt
+        .endfunc
+        """
+    )
+
+
+class TestWalker:
+    def test_walk_reaches_cfm(self):
+        program = _program()
+        insts, merged = walk_wrong_path(
+            program, BiasTable(), start_pc=2, cfm_pcs={6},
+            return_cfm=False, max_insts=50,
+        )
+        assert merged
+        assert insts == 3  # two adds + jmp
+
+    def test_walk_capped(self):
+        program = _program()
+        insts, merged = walk_wrong_path(
+            program, BiasTable(), start_pc=2, cfm_pcs={6},
+            return_cfm=False, max_insts=2,
+        )
+        assert not merged
+        assert insts == 2
+
+    def test_walk_follows_bias_at_branches(self):
+        program = assemble(
+            """
+            .func main
+                movi r1, 1
+                bnez r1, out     ; walk starts after this
+                movi r2, 1
+                bnez r2, far
+                addi r3, r3, 1
+            cfm:
+                halt
+            far:
+                jmp far2
+            far2:
+                jmp cfm
+            out:
+                halt
+            .endfunc
+            """
+        )
+        bias = BiasTable()
+        cfm = 5
+        # bias says not-taken at the inner branch: short route
+        for _ in range(3):
+            bias.record(3, False)
+        short, merged_short = walk_wrong_path(
+            program, bias, 2, {cfm}, False, 50
+        )
+        # bias says taken: the long route via far/far2
+        for _ in range(6):
+            bias.record(3, True)
+        long, merged_long = walk_wrong_path(
+            program, bias, 2, {cfm}, False, 50
+        )
+        assert merged_short and merged_long
+        assert long > short
+
+    def test_walk_through_call_and_back(self):
+        program = assemble(
+            """
+            .func main
+                call helper
+            cfm:
+                halt
+            .endfunc
+            .func helper
+                addi r1, r1, 1
+                ret
+            .endfunc
+            """
+        )
+        insts, merged = walk_wrong_path(
+            program, BiasTable(), 0, {1}, False, 50
+        )
+        assert merged
+        assert insts == 3  # call, addi, ret
+
+    def test_return_cfm_merges_at_ret(self):
+        program = assemble(
+            """
+            .func main
+                call helper
+                halt
+            .endfunc
+            .func helper
+                movi r1, 1
+                bnez r1, other
+                addi r2, r2, 1
+                ret
+            other:
+                addi r3, r3, 1
+                ret
+            .endfunc
+            """
+        )
+        # walk the not-taken side of the helper branch, merging at RET
+        insts, merged = walk_wrong_path(
+            program, BiasTable(), 4, set(), True, 50
+        )
+        assert merged
+        assert insts == 2  # addi + ret
+
+    def test_ret_without_return_cfm_ends_unmerged(self):
+        program = _program()
+        walker = WrongPathWalker(program, BiasTable())
+        # Walk from the halt-terminated merge block looking for a pc
+        # that is never reached.
+        insts, merged = walker.walk(6, {999}, False, 50)
+        assert not merged
+
+    def test_out_of_range_start(self):
+        program = _program()
+        insts, merged = walk_wrong_path(
+            program, BiasTable(), 10_000, {1}, False, 50
+        )
+        assert (insts, merged) == (0, False)
