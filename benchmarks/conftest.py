@@ -18,9 +18,15 @@ import pathlib
 
 import pytest
 
+from repro.obs import build_manifest, write_manifest
+from repro.obs.context import get_metrics, get_phases
 from repro.workloads import BENCHMARK_NAMES
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-test wall-clock, written into the run manifest at session end
+#: (same JSON format as ``python -m repro all --manifest``).
+_TIMINGS = {}
 
 
 def bench_scale():
@@ -54,3 +60,33 @@ def save_result():
         print(text)
 
     return _save
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        name = report.nodeid.rsplit("::", 1)[-1]
+        entry = _TIMINGS.setdefault(
+            name, {"seconds": 0.0, "events": 0, "calls": 0}
+        )
+        entry["seconds"] += report.duration
+        entry["calls"] += 1
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the suite's timings as a run manifest."""
+    if not _TIMINGS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    manifest = build_manifest(
+        command="pytest benchmarks/",
+        args={
+            "scale": bench_scale(),
+            "suite": ",".join(bench_suite()),
+        },
+        benchmarks=bench_suite(),
+        scale=bench_scale(),
+        phases=dict(_TIMINGS),
+        metrics=get_metrics(),
+        extra={"pipeline_phases": get_phases().as_dict()},
+    )
+    write_manifest(str(RESULTS_DIR / "manifest.json"), manifest)

@@ -15,6 +15,8 @@ The package is organized bottom-up:
   loops), the analytical cost-benefit model, and simple baseline algorithms.
 - :mod:`repro.workloads` — the synthetic SPEC-like benchmark suite.
 - :mod:`repro.experiments` — harnesses regenerating every paper table/figure.
+- :mod:`repro.obs` — telemetry: metrics registry, structured event
+  tracing, phase timers, and run manifests (docs/observability.md).
 """
 
 from repro._version import __version__

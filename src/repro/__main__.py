@@ -5,6 +5,12 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro table1
     python -m repro fig5 --scale 0.5 --benchmarks gzip,twolf
     python -m repro all --scale 1.0
+
+Telemetry (see ``docs/observability.md``)::
+
+    python -m repro fig5 --trace run.jsonl --metrics run.json
+    python -m repro trace-report run.jsonl
+    python -m repro all --manifest results/run_manifest.json
 """
 
 import argparse
@@ -22,6 +28,17 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    PhaseProfile,
+    build_manifest,
+    format_trace_report,
+    jsonl_tracer,
+    summarize_trace,
+    telemetry,
+    write_manifest,
+)
 
 ARTIFACTS = {
     "table1": table1,
@@ -35,6 +52,10 @@ ARTIFACTS = {
     "priorwork": priorwork,
 }
 
+#: Where ``python -m repro all`` writes its combined manifest unless
+#: ``--manifest`` overrides it.
+DEFAULT_ALL_MANIFEST = "results/run_manifest.json"
+
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
@@ -47,8 +68,17 @@ def main(argv=None):
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all", "ablations", "coverage"],
-        help="which table/figure to regenerate",
+        choices=sorted(ARTIFACTS) + [
+            "all", "ablations", "coverage", "trace-report",
+        ],
+        help="which table/figure to regenerate (or trace-report to "
+             "summarize an event log)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="for trace-report: the JSONL trace log to summarize",
     )
     parser.add_argument(
         "--scale",
@@ -66,13 +96,103 @@ def main(argv=None):
         action="store_true",
         help="also render speedup figures as ASCII bar charts",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        default=None,
+        help="write structured telemetry events (episodes, flushes, "
+             "selection decisions) as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.json",
+        default=None,
+        help="write the metrics-registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="OUT.json",
+        default=None,
+        help="write a run manifest (config, git rev, phase timings, "
+             f"metrics); 'all' defaults to {DEFAULT_ALL_MANIFEST}",
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "trace-report":
+        if not args.path:
+            parser.error("trace-report requires a trace log path")
+        try:
+            summary = summarize_trace(args.path)
+        except OSError as exc:
+            print(f"python -m repro: error: cannot read trace: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"python -m repro: error: {exc}", file=sys.stderr)
+            return 1
+        print(format_trace_report(summary))
+        return 0
+    if args.path is not None:
+        parser.error(
+            f"unexpected positional argument {args.path!r} "
+            f"(only trace-report takes a path)"
+        )
 
     benchmarks = (
         [b.strip() for b in args.benchmarks.split(",") if b.strip()]
         or None
     )
 
+    registry = MetricsRegistry()
+    phases = PhaseProfile()
+    tracer = jsonl_tracer(args.trace) if args.trace else NULL_TRACER
+    telemetry_requested = bool(
+        args.trace or args.metrics or args.manifest
+    )
+
+    try:
+        with telemetry(tracer=tracer, metrics=registry, phases=phases):
+            status = _run_artifact(args, benchmarks)
+    finally:
+        tracer.close()
+    if status:
+        return status
+
+    if args.trace:
+        print(f"[obs] trace written to {args.trace}")
+    if args.metrics:
+        registry.write_json(args.metrics)
+        print(f"[obs] metrics written to {args.metrics}")
+
+    manifest_path = args.manifest
+    if manifest_path is None and args.artifact == "all":
+        manifest_path = DEFAULT_ALL_MANIFEST
+    if manifest_path:
+        manifest = build_manifest(
+            command=f"python -m repro {args.artifact}",
+            args={
+                "artifact": args.artifact,
+                "scale": args.scale,
+                "benchmarks": args.benchmarks or "all",
+                "trace": args.trace,
+                "metrics": args.metrics,
+            },
+            benchmarks=benchmarks,
+            scale=args.scale,
+            phases=phases,
+            metrics=registry,
+        )
+        write_manifest(manifest_path, manifest)
+        print(f"[obs] run manifest written to {manifest_path}")
+
+    if telemetry_requested or args.artifact == "all":
+        print()
+        print(phases.report())
+    return 0
+
+
+def _run_artifact(args, benchmarks):
+    """Dispatch one artifact run under the active telemetry context."""
     if args.artifact == "coverage":
         from repro.experiments import coverage
 

@@ -81,3 +81,26 @@ class JRSConfidenceEstimator:
         if self.queries == 0:
             return 0.0
         return self.low_confidence_count / self.queries
+
+    def snapshot(self):
+        """JSON-ready summary of the estimator's own behaviour."""
+        return {
+            "queries": self.queries,
+            "low_confidence": self.low_confidence_count,
+            "low_confidence_mispredicted": self.low_confidence_mispredicted,
+            "pvn": self.pvn,
+            "coverage": self.coverage,
+        }
+
+    def record_metrics(self, metrics, prefix="confidence"):
+        """Mirror :meth:`snapshot` into a metrics registry.
+
+        Gauges hold the *latest* PVN/coverage (one value per run); the
+        raw tallies land in counters so multiple runs accumulate.
+        """
+        metrics.gauge(f"{prefix}_pvn",
+                      help="measured Acc_Conf of the last run"
+                      ).set(self.pvn)
+        metrics.gauge(f"{prefix}_coverage",
+                      help="low-confidence fraction of the last run"
+                      ).set(self.coverage)

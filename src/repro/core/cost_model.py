@@ -68,6 +68,21 @@ class HammockCostReport:
     def selected(self):
         return self.dpred_cost < 0.0
 
+    def as_dict(self):
+        """JSON-ready form (trace events and reports embed this)."""
+        return {
+            "branch_pc": self.branch_pc,
+            "dpred_overhead": self.dpred_overhead,
+            "dpred_cost": self.dpred_cost,
+            "selected": self.selected,
+            "merge_prob_total": self.merge_prob_total,
+            "useless_by_cfm": {
+                # Return CFMs key on None; JSON needs string keys.
+                ("return" if pc is None else str(pc)): value
+                for pc, value in self.useless_by_cfm.items()
+            },
+        }
+
 
 def dpred_cost(dpred_overhead, params):
     """Equation (1): total cost given the overhead and Acc_Conf."""

@@ -23,6 +23,8 @@ from repro.core.marks import BinaryAnnotation, DivergeBranch, DivergeKind
 from repro.core.return_cfm import find_return_cfm_candidates
 from repro.core.short_hammocks import apply_short_hammock_heuristic
 from repro.core.thresholds import COST_MODEL, SelectionThresholds
+from repro.obs.context import get_metrics, get_tracer
+from repro.obs.events import BranchRejected, BranchSelected
 
 
 @dataclass(frozen=True)
@@ -96,7 +98,8 @@ class SelectionConfig:
 class DivergeSelector:
     """Runs the configured passes and emits a :class:`BinaryAnnotation`."""
 
-    def __init__(self, program, profile, config=None, two_d_profile=None):
+    def __init__(self, program, profile, config=None, two_d_profile=None,
+                 tracer=None):
         self.program = program
         self.profile = profile
         self.config = config or SelectionConfig()
@@ -105,11 +108,40 @@ class DivergeSelector:
         #: always-easy branches (easy *and* phase-stable) are dropped
         #: from hammock candidacy.
         self.two_d_profile = two_d_profile
+        #: Trace events (``select.branch.selected``/``.rejected``) go
+        #: here; defaults to the active telemetry context's tracer.
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.analysis = ProgramAnalysis(program, profile)
         #: Per-candidate cost reports (populated in cost-model mode).
         self.cost_reports = []
         #: Loop-candidate accept/reject diagnostics.
         self.loop_reports = []
+
+    def _emit_selected(self, branch, report=None):
+        if not self.tracer.enabled:
+            return
+        self.tracer.emit(BranchSelected(
+            branch_pc=branch.branch_pc,
+            kind=branch.kind.value,
+            source=branch.source,
+            always_predicate=branch.always_predicate,
+            num_cfm_points=len(branch.cfm_points),
+            num_select_uops=branch.num_select_uops,
+            dpred_cost=report.dpred_cost if report else None,
+            dpred_overhead=report.dpred_overhead if report else None,
+            merge_prob_total=report.merge_prob_total if report else None,
+        ))
+
+    def _emit_rejected(self, branch_pc, reason, report=None):
+        if not self.tracer.enabled:
+            return
+        self.tracer.emit(BranchRejected(
+            branch_pc=branch_pc,
+            reason=reason,
+            dpred_cost=report.dpred_cost if report else None,
+            dpred_overhead=report.dpred_overhead if report else None,
+            merge_prob_total=report.merge_prob_total if report else None,
+        ))
 
     def select(self):
         config = self.config
@@ -128,18 +160,24 @@ class DivergeSelector:
             )
         if config.min_misp_rate > 0.0:
             branch_profile = self.profile.branch_profile
-            candidates = [
-                c
-                for c in candidates
-                if branch_profile.misprediction_rate(c.branch_pc)
-                >= config.min_misp_rate
-            ]
+            kept = []
+            for candidate in candidates:
+                if branch_profile.misprediction_rate(candidate.branch_pc) \
+                        >= config.min_misp_rate:
+                    kept.append(candidate)
+                else:
+                    self._emit_rejected(candidate.branch_pc,
+                                        "easy-branch-filter")
+            candidates = kept
         if self.two_d_profile is not None:
-            candidates = [
-                c
-                for c in candidates
-                if self.two_d_profile.keep_branch(c.branch_pc)
-            ]
+            kept = []
+            for candidate in candidates:
+                if self.two_d_profile.keep_branch(candidate.branch_pc):
+                    kept.append(candidate)
+                else:
+                    self._emit_rejected(candidate.branch_pc,
+                                        "2d-profile-filter")
+            candidates = kept
 
         # Short hammocks are always predicated; they bypass the cost /
         # threshold decision and drop their non-qualifying CFM points.
@@ -155,6 +193,7 @@ class DivergeSelector:
             if measured > 0.0:
                 cost_params = replace(cost_params, acc_conf=measured)
 
+        cost_by_pc = {}
         if config.cost_model is not None:
             selected = []
             for candidate in candidates:
@@ -166,16 +205,22 @@ class DivergeSelector:
                 )
                 self.cost_reports.append(report)
                 if report.selected:
+                    cost_by_pc[candidate.branch_pc] = report
                     selected.append(candidate)
+                else:
+                    self._emit_rejected(candidate.branch_pc,
+                                        "cost-model", report)
             candidates = selected
 
         for candidate in candidates:
-            annotation.add(self._finish_hammock(candidate, always=False))
+            branch = self._finish_hammock(candidate, always=False)
+            annotation.add(branch)
+            self._emit_selected(branch, cost_by_pc.get(branch.branch_pc))
 
         for branch_pc, cfm_points in sorted(short.items()):
-            annotation.add(
-                self._finish_short(branch_pc, cfm_points)
-            )
+            branch = self._finish_short(branch_pc, cfm_points)
+            annotation.add(branch)
+            self._emit_selected(branch)
 
         if config.enable_return_cfm:
             exclude = frozenset(
@@ -195,12 +240,18 @@ class DivergeSelector:
                     )
                     self.cost_reports.append(report)
                     if report.selected:
+                        cost_by_pc[candidate.branch_pc] = report
                         kept.append(candidate)
+                    else:
+                        self._emit_rejected(candidate.branch_pc,
+                                            "cost-model", report)
                 ret_candidates = kept
             for candidate in ret_candidates:
-                annotation.add(
-                    self._finish_hammock(candidate, always=False,
-                                         source="return-cfm")
+                branch = self._finish_hammock(candidate, always=False,
+                                              source="return-cfm")
+                annotation.add(branch)
+                self._emit_selected(
+                    branch, cost_by_pc.get(branch.branch_pc)
                 )
 
         if config.enable_loop:
@@ -210,7 +261,20 @@ class DivergeSelector:
             for branch in loops:
                 if not annotation.is_diverge(branch.branch_pc):
                     annotation.add(branch)
+                    self._emit_selected(branch)
+            if self.tracer.enabled:
+                for report in self.loop_reports:
+                    if not report.accepted:
+                        self._emit_rejected(
+                            report.branch_pc,
+                            f"loop:{report.reject_reason}",
+                        )
 
+        metrics = get_metrics()
+        metrics.counter("selection_runs_total").inc()
+        metrics.counter("selection_branches_selected_total").inc(
+            len(annotation)
+        )
         return annotation
 
     # -- record construction -------------------------------------------------

@@ -192,17 +192,28 @@ class Emulator:
 
 
 def execute(program, memory=None, max_instructions=1_000_000,
-            collect_trace=True):
+            collect_trace=True, metrics=None):
     """Convenience wrapper: run ``program`` and return ``(trace, result)``.
 
     ``memory`` pre-loads the sparse word memory (this is how workload
     input sets are supplied).  When ``collect_trace`` is False the trace
     is ``None`` and only the :class:`RunResult` matters.
+
+    ``metrics`` (default: the active telemetry registry) accumulates
+    functional-run totals — end-of-run increments only, the emulation
+    loop itself stays uninstrumented.
     """
+    from repro.obs.context import get_metrics
+
     trace = [] if collect_trace else None
     emulator = Emulator(program)
     state = ArchState(memory=memory)
     result = emulator.run(
         state=state, max_instructions=max_instructions, trace=trace
+    )
+    registry = metrics if metrics is not None else get_metrics()
+    registry.counter("emulator_runs_total").inc()
+    registry.counter("emulator_instructions_total").inc(
+        result.instruction_count
     )
     return trace, result

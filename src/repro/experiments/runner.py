@@ -2,14 +2,26 @@
 
 The expensive artifacts — functional traces and profiles — are cached
 per (benchmark, input set, scale), so running several figures in one
-process (e.g. the benchmark suite) profiles each workload once.
+process (e.g. the benchmark suite) profiles each workload once.  The
+caches are bounded LRU :class:`KeyedCache` objects whose hit/miss
+counters land in the metrics registry, so cache effectiveness is
+visible in ``--metrics`` output instead of silently growing memory.
+
+Every stage runs under a phase timer (:func:`repro.obs.phase`):
+``trace`` (functional execution), ``profile``, ``select``
+(diverge-branch selection), and ``simulate`` (timing model), each
+reporting wall-clock seconds and events/sec through the active
+telemetry context.
 """
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core import DivergeSelector
 from repro.emulator import execute
+from repro.obs.context import get_metrics
+from repro.obs.timers import phase
 from repro.profiling import Profiler
 from repro.uarch import TimingSimulator
 from repro.workloads import BENCHMARK_NAMES, load_benchmark
@@ -31,8 +43,60 @@ class Artifacts:
         return self.workload.program
 
 
-_artifact_cache = {}
-_baseline_cache = {}
+class KeyedCache:
+    """A small bounded LRU cache with hit/miss/eviction metrics.
+
+    Counter names are ``cache_<name>_{hits,misses,evictions}_total`` in
+    the *active* metrics registry (looked up per operation, so a CLI
+    run with a fresh registry sees its own numbers).  ``max_entries``
+    bounds memory: the artifact caches used to be module-global dicts
+    that grew without limit across a long suite run.
+    """
+
+    def __init__(self, name, max_entries=32):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.name = name
+        self.max_entries = max_entries
+        self._data = OrderedDict()
+
+    def get(self, key):
+        """The cached value (marking it most-recent) or ``None``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            get_metrics().counter(
+                f"cache_{self.name}_misses_total"
+            ).inc()
+            return None
+        self._data.move_to_end(key)
+        get_metrics().counter(f"cache_{self.name}_hits_total").inc()
+        return value
+
+    def put(self, key, value):
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            get_metrics().counter(
+                f"cache_{self.name}_evictions_total"
+            ).inc()
+
+    def clear(self):
+        self._data.clear()
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key):
+        return key in self._data
+
+
+#: (name, input_set, scale) -> :class:`Artifacts`.  17 benchmarks × a
+#: couple of input sets fit comfortably; real suites at several scales
+#: recycle the oldest entries instead of accumulating them.
+_artifact_cache = KeyedCache("artifacts", max_entries=64)
+_baseline_cache = KeyedCache("baseline", max_entries=128)
 
 
 def clear_cache():
@@ -48,22 +112,26 @@ def get_artifacts(name, input_set="reduced", scale=1.0):
     if cached is not None:
         return cached
     workload = load_benchmark(name, input_set=input_set, scale=scale)
-    trace, result = execute(
-        workload.program,
-        memory=workload.memory,
-        max_instructions=workload.max_instructions,
-    )
+    with phase("trace") as ph:
+        trace, result = execute(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+        )
+        ph.events = result.instruction_count
     if not result.halted:
         raise RuntimeError(
             f"benchmark {name!r} did not halt within its budget"
         )
-    profile = Profiler().profile(
-        workload.program,
-        memory=workload.memory,
-        max_instructions=workload.max_instructions,
-    )
+    with phase("profile") as ph:
+        profile = Profiler().profile(
+            workload.program,
+            memory=workload.memory,
+            max_instructions=workload.max_instructions,
+        )
+        ph.events = result.instruction_count
     artifacts = Artifacts(workload=workload, trace=trace, profile=profile)
-    _artifact_cache[key] = artifacts
+    _artifact_cache.put(key, artifacts)
     return artifacts
 
 
@@ -75,8 +143,10 @@ def run_baseline(name, input_set="reduced", scale=1.0, config=None):
         return cached
     artifacts = get_artifacts(name, input_set, scale)
     simulator = TimingSimulator(artifacts.program, config=config)
-    stats = simulator.run(artifacts.trace, label=f"{name}/baseline")
-    _baseline_cache[key] = stats
+    with phase("simulate") as ph:
+        stats = simulator.run(artifacts.trace, label=f"{name}/baseline")
+        ph.events = stats.retired_instructions
+    _baseline_cache.put(key, stats)
     return stats
 
 
@@ -87,9 +157,12 @@ def run_annotated(name, annotation, input_set="reduced", scale=1.0,
     simulator = TimingSimulator(
         artifacts.program, config=config, annotation=annotation
     )
-    return simulator.run(
-        artifacts.trace, label=label or f"{name}/dmp"
-    )
+    with phase("simulate") as ph:
+        stats = simulator.run(
+            artifacts.trace, label=label or f"{name}/dmp"
+        )
+        ph.events = stats.retired_instructions
+    return stats
 
 
 def run_selection(name, selection_config, input_set="reduced",
@@ -106,7 +179,9 @@ def run_selection(name, selection_config, input_set="reduced",
     selector = DivergeSelector(
         run_artifacts.program, profile_artifacts.profile, selection_config
     )
-    annotation = selector.select()
+    with phase("select") as ph:
+        annotation = selector.select()
+        ph.events = len(annotation)
     stats = run_annotated(
         name,
         annotation,

@@ -1,0 +1,80 @@
+"""Observability: metrics, structured tracing, phase profiling, manifests.
+
+The package has five pieces:
+
+- :mod:`repro.obs.metrics` — always-on counters/gauges/histograms in a
+  :class:`MetricsRegistry`;
+- :mod:`repro.obs.events` + :mod:`repro.obs.tracer` — typed trace
+  events written as JSONL through a pluggable sink (default: the
+  no-op :data:`NULL_TRACER`, one attribute check in the hot loop);
+- :mod:`repro.obs.timers` — phase timers for the harness pipeline
+  (trace → profile → select → simulate) with events/sec throughput;
+- :mod:`repro.obs.manifest` — the per-run JSON manifest;
+- :mod:`repro.obs.trace_report` — offline trace summarization
+  (``python -m repro trace-report``).
+
+:mod:`repro.obs.context` holds the active tracer/registry/profile so
+the CLI can enable telemetry without threading arguments through every
+experiment signature.  See ``docs/observability.md``.
+"""
+
+from repro.obs import events
+from repro.obs.context import (
+    Telemetry,
+    active,
+    get_metrics,
+    get_phases,
+    get_tracer,
+    telemetry,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timers import PhaseProfile, phase
+from repro.obs.trace_report import format_trace_report, summarize_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Tracer,
+    iter_records,
+    jsonl_tracer,
+    read_events,
+)
+
+__all__ = [
+    "events",
+    "Telemetry",
+    "active",
+    "get_metrics",
+    "get_phases",
+    "get_tracer",
+    "telemetry",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "git_revision",
+    "read_manifest",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfile",
+    "phase",
+    "format_trace_report",
+    "summarize_trace",
+    "NULL_TRACER",
+    "JsonlSink",
+    "ListSink",
+    "NullTracer",
+    "Tracer",
+    "iter_records",
+    "jsonl_tracer",
+    "read_events",
+]

@@ -1,0 +1,197 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+All instruments are cheap enough to stay always-on: a counter
+increment is one attribute add, a histogram observation one bisect
+over a short tuple.  Per-*instruction* work still belongs outside the
+registry — the simulator aggregates into :class:`SimStats` in its hot
+loop and folds the totals in here once per run.
+
+Instruments are owned by a :class:`MetricsRegistry` and looked up by
+name; repeated lookups return the same instrument, so call sites never
+need to coordinate creation.  :meth:`MetricsRegistry.as_dict` takes a
+JSON-ready snapshot (the run manifest embeds one), and
+:meth:`MetricsRegistry.write_json` dumps it to disk for
+``python -m repro ... --metrics OUT.json``.
+"""
+
+import json
+import os
+from bisect import bisect_left
+
+
+class Counter:
+    """A monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper bounds.
+
+    ``buckets`` is an increasing sequence of upper bounds; a value
+    lands in the first bucket whose bound is >= the value (so a value
+    exactly equal to a bound counts in that bound's bucket), and values
+    above the last bound land in the overflow bucket.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "overflow",
+                 "total", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name, buckets, help=""):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value):
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self):
+        if self.total == 0:
+            return 0.0
+        return self.sum / self.total
+
+    def as_dict(self):
+        return {
+            "kind": self.kind,
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(self.bounds, self.counts)
+            },
+            "overflow": self.overflow,
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first lookup.
+
+    Asking for an existing name with a different instrument kind (or
+    different histogram buckets) is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+
+    def counter(self, name, help=""):
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name, help=""):
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name, buckets, help=""):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, buckets, help=help)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        if instrument.bounds != tuple(buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different "
+                f"buckets"
+            )
+        return instrument
+
+    def _get_or_create(self, name, cls, help=""):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help=help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def get(self, name):
+        """The instrument registered under ``name`` or ``None``."""
+        return self._instruments.get(name)
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def names(self):
+        return sorted(self._instruments)
+
+    def as_dict(self):
+        """JSON-ready snapshot of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].as_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def write_json(self, path):
+        """Dump :meth:`as_dict` to ``path``; returns the path."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

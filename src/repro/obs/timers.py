@@ -1,0 +1,122 @@
+"""Phase timers: where does the wall-clock go?
+
+The experiment harness spends its time in four phases — functional
+trace generation, profiling, diverge-branch selection, and timing
+simulation.  :func:`phase` wraps one such region, records wall-clock
+seconds (and an optional event count, for events/sec throughput) into
+a :class:`PhaseProfile`, mirrors both into the metrics registry, and
+emits a :class:`~repro.obs.events.PhaseEnd` trace event when tracing
+is on.
+
+Usage::
+
+    with phase("simulate") as ph:
+        stats = simulator.run(trace)
+        ph.events = stats.retired_instructions
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseHandle:
+    """Mutable box the ``with phase(...)`` body fills in."""
+
+    __slots__ = ("name", "events")
+
+    def __init__(self, name):
+        self.name = name
+        self.events = 0
+
+
+class PhaseProfile:
+    """Accumulated wall-clock and throughput per named phase."""
+
+    def __init__(self):
+        self._phases = {}
+
+    def record(self, name, seconds, events=0):
+        entry = self._phases.get(name)
+        if entry is None:
+            entry = self._phases[name] = {
+                "seconds": 0.0, "events": 0, "calls": 0,
+            }
+        entry["seconds"] += seconds
+        entry["events"] += events
+        entry["calls"] += 1
+
+    def __len__(self):
+        return len(self._phases)
+
+    def __contains__(self, name):
+        return name in self._phases
+
+    def seconds(self, name):
+        entry = self._phases.get(name)
+        return entry["seconds"] if entry else 0.0
+
+    def as_dict(self):
+        """JSON-ready snapshot including derived events/sec."""
+        snapshot = {}
+        for name in sorted(self._phases):
+            entry = dict(self._phases[name])
+            entry["events_per_sec"] = (
+                entry["events"] / entry["seconds"]
+                if entry["seconds"] > 0 and entry["events"]
+                else 0.0
+            )
+            snapshot[name] = entry
+        return snapshot
+
+    def report(self):
+        """Human-readable per-phase summary (one line per phase)."""
+        snapshot = self.as_dict()
+        if not snapshot:
+            return "no phases recorded"
+        width = max(len(name) for name in snapshot)
+        lines = ["phase timings:"]
+        for name, entry in snapshot.items():
+            line = (
+                f"  {name.ljust(width)}  {entry['seconds']:8.3f}s"
+                f"  x{entry['calls']}"
+            )
+            if entry["events"]:
+                line += (
+                    f"  {entry['events']} events"
+                    f"  ({entry['events_per_sec']:,.0f}/s)"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@contextmanager
+def phase(name, events=0, profile=None, metrics=None, tracer=None):
+    """Time one phase; see the module docstring for the contract.
+
+    ``profile``/``metrics``/``tracer`` default to the active telemetry
+    context (:mod:`repro.obs.context`).
+    """
+    from repro.obs import context
+
+    profile = profile if profile is not None else context.get_phases()
+    metrics = metrics if metrics is not None else context.get_metrics()
+    tracer = tracer if tracer is not None else context.get_tracer()
+
+    handle = PhaseHandle(name)
+    handle.events = events
+    start = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        elapsed = time.perf_counter() - start
+        profile.record(name, elapsed, handle.events)
+        metrics.counter(f"phase_{name}_seconds_total").inc(elapsed)
+        metrics.counter(f"phase_{name}_calls_total").inc()
+        if handle.events:
+            metrics.counter(f"phase_{name}_events_total").inc(handle.events)
+        if tracer.enabled:
+            from repro.obs.events import PhaseEnd
+
+            tracer.emit(PhaseEnd(
+                name=name, seconds=elapsed, events=handle.events
+            ))

@@ -1,0 +1,213 @@
+"""Offline summarization of a JSONL event trace.
+
+``python -m repro trace-report OUT.jsonl`` answers the questions a raw
+log cannot: which branches' dpred episodes merge vs. get squashed,
+where the remaining pipeline flushes come from, and what the selector
+decided (and why).  The summary also reconciles per-event counts
+against the ``sim.run.end`` totals — a mismatch means events were
+dropped, which would make any trace-driven diagnosis untrustworthy.
+"""
+
+from collections import Counter as TallyCounter
+
+from repro.obs.tracer import iter_records
+
+
+def summarize_trace(path):
+    """Aggregate one JSONL trace log into a summary dict."""
+    by_type = TallyCounter()
+    branches = {}
+    flush_sources = TallyCounter()
+    selection = {
+        "selected": 0,
+        "rejected": 0,
+        "selected_by_source": TallyCounter(),
+        "rejected_by_reason": TallyCounter(),
+    }
+    runs = []
+    phases = {}
+    total = 0
+
+    def branch_entry(pc):
+        entry = branches.get(pc)
+        if entry is None:
+            entry = branches[pc] = {
+                "episodes": 0,
+                "merged": 0,
+                "unmerged": 0,
+                "flushed": 0,
+                "flushes_avoided": 0,
+                "wrong_path_insts": 0,
+                "select_uops": 0,
+            }
+        return entry
+
+    for record in iter_records(path):
+        total += 1
+        kind = record.get("type", "unknown")
+        by_type[kind] += 1
+        if kind == "dpred.episode.start":
+            entry = branch_entry(record["branch_pc"])
+            entry["episodes"] += 1
+            entry["wrong_path_insts"] += record.get("wrong_path_insts", 0)
+            if record.get("mispredicted"):
+                entry["flushes_avoided"] += 1
+        elif kind == "dpred.episode.merge":
+            entry = branch_entry(record["branch_pc"])
+            entry["merged"] += 1
+            entry["select_uops"] += record.get("select_uops", 0)
+        elif kind == "dpred.episode.end":
+            branch_entry(record["branch_pc"])["unmerged"] += 1
+        elif kind == "dpred.episode.flush":
+            branch_entry(record["branch_pc"])["flushed"] += 1
+        elif kind == "uarch.pipeline.flush":
+            flush_sources[(record["pc"], record.get("source", ""))] += 1
+        elif kind == "select.branch.selected":
+            selection["selected"] += 1
+            selection["selected_by_source"][record.get("source", "")] += 1
+        elif kind == "select.branch.rejected":
+            selection["rejected"] += 1
+            selection["rejected_by_reason"][record.get("reason", "")] += 1
+        elif kind == "sim.run.end":
+            runs.append({
+                "label": record.get("label", ""),
+                "cycles": record.get("cycles", 0),
+                "retired_instructions": record.get(
+                    "retired_instructions", 0),
+                "pipeline_flushes": record.get("pipeline_flushes", 0),
+                "dpred_episodes": record.get("dpred_episodes", 0),
+                "dpred_episodes_merged": record.get(
+                    "dpred_episodes_merged", 0),
+            })
+        elif kind == "phase.end":
+            entry = phases.setdefault(
+                record.get("name", ""),
+                {"seconds": 0.0, "events": 0, "calls": 0},
+            )
+            entry["seconds"] += record.get("seconds", 0.0)
+            entry["events"] += record.get("events", 0)
+            entry["calls"] += 1
+
+    reconciliation = {
+        "episode_starts": by_type.get("dpred.episode.start", 0),
+        "episode_merges": by_type.get("dpred.episode.merge", 0),
+        "pipeline_flushes": by_type.get("uarch.pipeline.flush", 0),
+        "run_dpred_episodes": sum(r["dpred_episodes"] for r in runs),
+        "run_dpred_episodes_merged": sum(
+            r["dpred_episodes_merged"] for r in runs
+        ),
+        "run_pipeline_flushes": sum(r["pipeline_flushes"] for r in runs),
+    }
+    reconciliation["consistent"] = (
+        reconciliation["episode_starts"]
+        == reconciliation["run_dpred_episodes"]
+        and reconciliation["episode_merges"]
+        == reconciliation["run_dpred_episodes_merged"]
+        and reconciliation["pipeline_flushes"]
+        == reconciliation["run_pipeline_flushes"]
+    )
+
+    return {
+        "path": path,
+        "total_events": total,
+        "by_type": dict(sorted(by_type.items())),
+        "branches": branches,
+        "flush_sources": flush_sources,
+        "selection": selection,
+        "runs": runs,
+        "phases": phases,
+        "reconciliation": reconciliation,
+    }
+
+
+def format_trace_report(summary, top=10):
+    """Render :func:`summarize_trace` output as plain text."""
+    lines = [
+        f"trace report: {summary['path']}",
+        f"  events: {summary['total_events']}",
+    ]
+    for kind, count in summary["by_type"].items():
+        lines.append(f"    {kind:<28} {count}")
+
+    branches = summary["branches"]
+    if branches:
+        lines.append("")
+        lines.append(f"per-branch dpred episode outcomes "
+                     f"(top {top} by episodes):")
+        lines.append(
+            "    pc      episodes  merged  unmerged  flushed  "
+            "avoided  wrong-path"
+        )
+        ranked = sorted(
+            branches.items(), key=lambda kv: -kv[1]["episodes"]
+        )[:top]
+        for pc, entry in ranked:
+            lines.append(
+                f"    {pc:<7} {entry['episodes']:>8}  {entry['merged']:>6}"
+                f"  {entry['unmerged']:>8}  {entry['flushed']:>7}"
+                f"  {entry['flushes_avoided']:>7}"
+                f"  {entry['wrong_path_insts']:>10}"
+            )
+
+    flushes = summary["flush_sources"]
+    if flushes:
+        lines.append("")
+        lines.append(f"top {top} pipeline flush sources:")
+        for (pc, source), count in flushes.most_common(top):
+            lines.append(f"    pc {pc:<7} {source:<20} {count}")
+
+    selection = summary["selection"]
+    if selection["selected"] or selection["rejected"]:
+        lines.append("")
+        lines.append(
+            f"selection decisions: {selection['selected']} selected, "
+            f"{selection['rejected']} rejected"
+        )
+        for source, count in sorted(
+            selection["selected_by_source"].items()
+        ):
+            lines.append(f"    selected via {source:<20} {count}")
+        for reason, count in sorted(
+            selection["rejected_by_reason"].items()
+        ):
+            lines.append(f"    rejected:    {reason:<20} {count}")
+
+    if summary["runs"]:
+        lines.append("")
+        lines.append(f"simulation runs: {len(summary['runs'])}")
+        for run in summary["runs"][:top]:
+            lines.append(
+                f"    {run['label'] or '(unlabelled)'}: "
+                f"{run['retired_instructions']} insts, "
+                f"{run['cycles']} cycles, "
+                f"{run['dpred_episodes']} episodes "
+                f"({run['dpred_episodes_merged']} merged), "
+                f"{run['pipeline_flushes']} flushes"
+            )
+        if len(summary["runs"]) > top:
+            lines.append(f"    ... and {len(summary['runs']) - top} more")
+
+    if summary["phases"]:
+        lines.append("")
+        lines.append("phase timings (from trace):")
+        for name, entry in sorted(summary["phases"].items()):
+            lines.append(
+                f"    {name:<12} {entry['seconds']:8.3f}s"
+                f"  x{entry['calls']}  {entry['events']} events"
+            )
+
+    recon = summary["reconciliation"]
+    lines.append("")
+    lines.append(
+        "reconciliation vs sim.run.end totals: "
+        + ("OK" if recon["consistent"] else "MISMATCH")
+    )
+    lines.append(
+        f"    episode starts {recon['episode_starts']} "
+        f"(runs say {recon['run_dpred_episodes']}), "
+        f"merges {recon['episode_merges']} "
+        f"(runs say {recon['run_dpred_episodes_merged']}), "
+        f"flushes {recon['pipeline_flushes']} "
+        f"(runs say {recon['run_pipeline_flushes']})"
+    )
+    return "\n".join(lines)

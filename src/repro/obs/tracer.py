@@ -1,0 +1,124 @@
+"""The structured event tracer and its sinks.
+
+The hot-loop contract: callers keep a local ``traced = tracer.enabled``
+(or test ``tracer.enabled`` directly) and only construct/emit events
+when it is true.  The default :data:`NULL_TRACER` therefore costs one
+attribute check per guarded site and nothing else.
+
+Sinks are pluggable: anything with ``write(record: dict)`` and
+``close()`` works.  :class:`JsonlSink` appends one JSON object per
+line; :class:`ListSink` collects records in memory (tests, in-process
+analysis).  :func:`read_events` / :func:`iter_records` read a JSONL
+log back as typed events / raw dicts.
+"""
+
+import json
+import os
+
+from repro.obs.events import from_record, to_record
+
+
+class NullTracer:
+    """The disabled tracer: emits nothing, closes nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, event_obj):
+        pass
+
+    def close(self):
+        pass
+
+
+#: Shared default instance — there is no state to isolate.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Writes typed events to a sink, stamping a sequence number."""
+
+    __slots__ = ("sink", "seq")
+
+    enabled = True
+
+    def __init__(self, sink):
+        self.sink = sink
+        self.seq = 0
+
+    def emit(self, event_obj):
+        record = to_record(event_obj)
+        record["seq"] = self.seq
+        self.seq += 1
+        self.sink.write(record)
+
+    def close(self):
+        self.sink.close()
+
+
+class JsonlSink:
+    """Appends records as JSON lines to a file path or file object."""
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._handle = path_or_file
+            self._owns_handle = False
+            self.path = getattr(path_or_file, "name", None)
+        else:
+            directory = os.path.dirname(os.path.abspath(path_or_file))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path_or_file, "w", encoding="utf-8")
+            self._owns_handle = True
+            self.path = path_or_file
+
+    def write(self, record):
+        self._handle.write(json.dumps(record, sort_keys=False))
+        self._handle.write("\n")
+
+    def close(self):
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+class ListSink:
+    """Collects records in memory (``sink.records``)."""
+
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def write(self, record):
+        self.records.append(record)
+
+    def close(self):
+        self.closed = True
+
+    def events(self):
+        """The collected records as typed events."""
+        return [from_record(r) for r in self.records]
+
+
+def jsonl_tracer(path):
+    """Convenience: a :class:`Tracer` writing JSONL to ``path``."""
+    return Tracer(JsonlSink(path))
+
+
+def iter_records(path):
+    """Yield raw record dicts from a JSONL trace log."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad trace record: {exc}"
+                ) from exc
+
+
+def read_events(path):
+    """Read a JSONL trace log back as a list of typed events."""
+    return [from_record(record) for record in iter_records(path)]

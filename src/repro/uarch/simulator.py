@@ -44,9 +44,20 @@ from repro.core.marks import DivergeKind
 from repro.errors import SimulationError
 from repro.isa.instructions import Opcode
 from repro.memory import MemoryHierarchy
+from repro.obs import events as obs_events
+from repro.obs.context import get_metrics, get_tracer
 from repro.uarch.config import ProcessorConfig
 from repro.uarch.stats import SimStats
 from repro.uarch.wrongpath import BiasTable, WrongPathWalker
+
+#: Histogram buckets for dpred episode length in cycles.
+EPISODE_CYCLE_BUCKETS = (2, 5, 10, 20, 50, 100, 200, 500)
+
+#: Histogram buckets for wrong-path instructions fetched per episode.
+WRONG_PATH_INST_BUCKETS = (0, 5, 10, 25, 50, 100, 200)
+
+#: Histogram buckets for the confidence estimator's per-run PVN.
+PVN_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
 
 
 class _Episode:
@@ -98,13 +109,33 @@ class TimingSimulator:
     annotation:
         Diverge-branch marks.  ``None`` simulates the baseline
         processor (DMP support idle).
+    tracer:
+        A :class:`repro.obs.tracer.Tracer` emitting typed events
+        (episodes, flushes, cache misses).  Defaults to the active
+        telemetry context — the no-op null tracer unless the CLI (or a
+        test) installed one, in which case the hot loop pays a single
+        ``tracer.enabled`` check per site.
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry`; always on.
+        Per-run totals and per-episode histograms are recorded here
+        (never per-instruction work).
     """
 
     def __init__(self, program, config=None, annotation=None,
-                 collect_per_branch=False):
+                 collect_per_branch=False, tracer=None, metrics=None):
         self.program = program
         self.config = (config or ProcessorConfig()).validate()
         self.annotation = annotation
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._hist_episode_cycles = self.metrics.histogram(
+            "dpred_episode_cycles", EPISODE_CYCLE_BUCKETS,
+            help="dpred episode length in cycles",
+        )
+        self._hist_wrong_path = self.metrics.histogram(
+            "dpred_wrong_path_insts_per_episode", WRONG_PATH_INST_BUCKETS,
+            help="wrong-path instructions fetched per dpred episode",
+        )
         #: When True, SimStats.per_branch records executions,
         #: mispredictions, episodes, avoided and taken flushes per pc
         #: (used by the coverage report; small runtime overhead).
@@ -141,7 +172,8 @@ class TimingSimulator:
             memory_latency=cfg.memory_latency,
         )
         self.bias = BiasTable()
-        self.walker = WrongPathWalker(program, self.bias)
+        self.walker = WrongPathWalker(program, self.bias,
+                                      metrics=self.metrics)
         self._loop_episode = None
         # Dynamic trip-count tracking for diverge loop branches: the
         # number of predicated iterations in an episode is bounded by
@@ -172,6 +204,15 @@ class TimingSimulator:
         cfg = self.config
         stats = SimStats(label=label)
         instructions = self.program.instructions
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.emit(obs_events.SimRunStart(
+                label=label,
+                trace_length=len(trace),
+                dmp_enabled=self.annotation is not None,
+            ))
+        hist_episode_cycles = self._hist_episode_cycles
 
         # Warm the instruction side: at the paper's scale (hundreds of
         # millions of instructions) compulsory I-cache misses are
@@ -245,13 +286,26 @@ class TimingSimulator:
             extra = memory.instruction_latency(pc) - cfg.icache_latency
             if extra > 0:
                 stats.icache_misses += 1
+                if traced:
+                    tracer.emit(obs_events.CacheMiss(
+                        level="icache", pc=pc, cycle=cycle,
+                        stall_cycles=extra,
+                    ))
                 cycle += extra
 
-        def end_episode_unmerged():
+        def end_episode_unmerged(reason="resolved-unmerged"):
             nonlocal episode, cycle
             ep = episode
             episode = None
             cycle = max(cycle, ep.resolve)
+            hist_episode_cycles.observe(max(0, ep.resolve - ep.start_cycle))
+            if traced:
+                tracer.emit(obs_events.DpredEpisodeEnd(
+                    branch_pc=ep.branch_pc,
+                    cycle=cycle,
+                    duration_cycles=max(0, ep.resolve - ep.start_cycle),
+                    reason=reason,
+                ))
             if ep.kind == "loop":
                 # Post-loop consumers of loop-carried values go through
                 # select-µops: ready no earlier than the resolution.
@@ -275,6 +329,14 @@ class TimingSimulator:
             episode = None
             cycle = max(cycle, merge_cycle)
             stats.dpred_episodes_merged += 1
+            hist_episode_cycles.observe(max(0, merge_cycle - ep.start_cycle))
+            if traced:
+                tracer.emit(obs_events.DpredEpisodeMerge(
+                    branch_pc=ep.branch_pc,
+                    cycle=cycle,
+                    duration_cycles=max(0, merge_cycle - ep.start_cycle),
+                    select_uops=ep.num_selects,
+                ))
             stats.dpred_select_uops += ep.num_selects
             for _ in range(ep.num_selects):
                 rob.append(ep.resolve)
@@ -305,7 +367,7 @@ class TimingSimulator:
                         else:
                             # True path waits for the false path, which
                             # never merges: dual-path until resolution.
-                            end_episode_unmerged()
+                            end_episode_unmerged("true-path-waits")
 
             # ---- ROB slot ---------------------------------------------
             # Drain until there is space: episodes bulk-insert wrong-path
@@ -459,8 +521,24 @@ class TimingSimulator:
                     if episode is not None:
                         # A mispredicted branch on a predicated path
                         # flushes and squashes the episode.
+                        hist_episode_cycles.observe(
+                            max(0, cycle - episode.start_cycle))
+                        if traced:
+                            tracer.emit(obs_events.DpredEpisodeFlush(
+                                branch_pc=episode.branch_pc,
+                                cycle=cycle,
+                                duration_cycles=max(
+                                    0, cycle - episode.start_cycle),
+                                flushed_by_pc=pc,
+                                source="branch-mispredict",
+                            ))
                         episode = None
                     stats.pipeline_flushes += 1
+                    if traced:
+                        tracer.emit(obs_events.PipelineFlush(
+                            pc=pc, cycle=cycle,
+                            source="branch-mispredict",
+                        ))
                     if per_branch is not None:
                         branch_counters(pc)[4] += 1
                     cycle = max(cycle, resolve + redirect)
@@ -489,7 +567,23 @@ class TimingSimulator:
                 correct = self.ras.pop_predict(dyn.next_pc)
                 if not correct:
                     stats.pipeline_flushes += 1
+                    if traced:
+                        tracer.emit(obs_events.PipelineFlush(
+                            pc=pc, cycle=cycle,
+                            source="return-mispredict",
+                        ))
                     if episode is not None:
+                        hist_episode_cycles.observe(
+                            max(0, cycle - episode.start_cycle))
+                        if traced:
+                            tracer.emit(obs_events.DpredEpisodeFlush(
+                                branch_pc=episode.branch_pc,
+                                cycle=cycle,
+                                duration_cycles=max(
+                                    0, cycle - episode.start_cycle),
+                                flushed_by_pc=pc,
+                                source="return-mispredict",
+                            ))
                         episode = None
                     cycle = max(cycle, complete + redirect)
                     slots_used = 0
@@ -516,7 +610,48 @@ class TimingSimulator:
                 }
                 for pc, c in per_branch.items()
             }
+        self._record_run_metrics(stats)
+        if traced:
+            tracer.emit(obs_events.SimRunEnd(
+                label=label,
+                cycles=stats.cycles,
+                retired_instructions=stats.retired_instructions,
+                pipeline_flushes=stats.pipeline_flushes,
+                dpred_episodes=stats.dpred_episodes,
+                dpred_episodes_merged=stats.dpred_episodes_merged,
+            ))
         return stats
+
+    def _record_run_metrics(self, stats):
+        """Fold one run's totals into the metrics registry."""
+        metrics = self.metrics
+        for name, value in (
+            ("sim_runs_total", 1),
+            ("sim_instructions_total", stats.retired_instructions),
+            ("sim_cycles_total", stats.cycles),
+            ("sim_conditional_branches_total", stats.conditional_branches),
+            ("sim_mispredictions_total", stats.mispredictions),
+            ("sim_pipeline_flushes_total", stats.pipeline_flushes),
+            ("sim_dpred_episodes_total", stats.dpred_episodes),
+            ("sim_dpred_episodes_merged_total",
+             stats.dpred_episodes_merged),
+            ("sim_dpred_flushes_avoided_total",
+             stats.dpred_flushes_avoided),
+            ("sim_dpred_wrong_path_insts_total",
+             stats.dpred_wrong_path_insts),
+            ("sim_icache_misses_total", stats.icache_misses),
+            ("sim_dcache_misses_total", stats.dcache_misses),
+            ("sim_l2_misses_total", stats.l2_misses),
+        ):
+            if value:
+                metrics.counter(name).inc(value)
+        if stats.low_confidence_branches:
+            metrics.histogram(
+                "confidence_pvn_per_run", PVN_BUCKETS,
+                help="measured Acc_Conf (PVN) per simulation run",
+            ).observe(stats.measured_acc_conf)
+        self.walker.record_metrics(metrics)
+        self.confidence.record_metrics(metrics)
 
     # ------------------------------------------------------------------
     # DMP episode construction
@@ -553,6 +688,15 @@ class TimingSimulator:
         episode.false_done_cycle = fetch_cycle + max(
             1, -(-false_insts // per_cycle)
         )
+        self._hist_wrong_path.observe(false_insts)
+        if self.tracer.enabled:
+            self.tracer.emit(obs_events.DpredEpisodeStart(
+                branch_pc=episode.branch_pc,
+                kind="hammock",
+                cycle=fetch_cycle,
+                mispredicted=mispredicted,
+                wrong_path_insts=false_insts,
+            ))
         return episode
 
     def _enter_loop_episode(self, stats, diverge, predicted, taken,
@@ -605,6 +749,19 @@ class TimingSimulator:
             # episode so the caller's normal misprediction path runs,
             # but still charge the select overhead.
             stats.dpred_select_uops += episode.num_selects
+            self._hist_wrong_path.observe(0)
+            if self.tracer.enabled:
+                # The episode is counted (stats.dpred_episodes above)
+                # but dies immediately, so the trace reflects both.
+                self.tracer.emit(obs_events.DpredEpisodeStart(
+                    branch_pc=episode.branch_pc, kind="loop",
+                    cycle=fetch_cycle, mispredicted=False,
+                    wrong_path_insts=0,
+                ))
+                self.tracer.emit(obs_events.DpredEpisodeEnd(
+                    branch_pc=episode.branch_pc, cycle=fetch_cycle,
+                    duration_cycles=0, reason="early-exit-flush",
+                ))
             self._loop_episode = None
             return False
         else:
@@ -612,6 +769,13 @@ class TimingSimulator:
             episode.half_width = False
             episode.mispredicted = False
 
+        self._hist_wrong_path.observe(episode.false_insts)
+        if self.tracer.enabled:
+            self.tracer.emit(obs_events.DpredEpisodeStart(
+                branch_pc=episode.branch_pc, kind="loop",
+                cycle=fetch_cycle, mispredicted=episode.mispredicted,
+                wrong_path_insts=episode.false_insts,
+            ))
         self._loop_episode = episode
         return True
 

@@ -1,6 +1,15 @@
 """Simulation statistics."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+#: Derived read-only properties included in :meth:`SimStats.as_dict`.
+_DERIVED = (
+    "ipc",
+    "mpki",
+    "flushes_per_kilo_inst",
+    "measured_acc_conf",
+    "merge_rate",
+)
 
 
 @dataclass
@@ -41,7 +50,7 @@ class SimStats:
 
     @property
     def ipc(self):
-        if self.cycles == 0:
+        if self.cycles == 0 or self.retired_instructions == 0:
             return 0.0
         return self.retired_instructions / self.cycles
 
@@ -72,6 +81,56 @@ class SimStats:
         if self.dpred_episodes == 0:
             return 0.0
         return self.dpred_episodes_merged / self.dpred_episodes
+
+    def as_dict(self, derived=True, per_branch=False):
+        """JSON-ready snapshot of the counters (and derived metrics).
+
+        The run manifest and ``--metrics`` output embed this; derived
+        properties are all safe at ``retired_instructions == 0``.
+        """
+        snapshot = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("label", "per_branch")
+        }
+        snapshot["label"] = self.label
+        if derived:
+            for name in _DERIVED:
+                snapshot[name] = getattr(self, name)
+        if per_branch and self.per_branch:
+            snapshot["per_branch"] = {
+                str(pc): dict(counters)
+                for pc, counters in self.per_branch.items()
+            }
+        return snapshot
+
+    def merge(self, other, label=None):
+        """A new :class:`SimStats` with the counters of both runs summed.
+
+        Useful for aggregating shards of one workload; derived
+        properties recompute from the combined counters.  Per-branch
+        counter dicts are merged by pc.
+        """
+        merged = SimStats(
+            label=label if label is not None
+            else (self.label or other.label)
+        )
+        for f in fields(self):
+            if f.name in ("label", "per_branch"):
+                continue
+            setattr(merged, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        if self.per_branch or other.per_branch:
+            combined = {
+                pc: dict(counters)
+                for pc, counters in self.per_branch.items()
+            }
+            for pc, counters in other.per_branch.items():
+                entry = combined.setdefault(pc, {})
+                for key, value in counters.items():
+                    entry[key] = entry.get(key, 0) + value
+            merged.per_branch = combined
+        return merged
 
     def speedup_over(self, baseline):
         """IPC improvement relative to ``baseline`` (e.g. 0.204 = +20.4%)."""

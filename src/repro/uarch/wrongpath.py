@@ -38,11 +38,38 @@ class BiasTable:
 
 
 class WrongPathWalker:
-    """Synthesizes the non-trace side of a dpred episode."""
+    """Synthesizes the non-trace side of a dpred episode.
 
-    def __init__(self, program, bias):
+    The walker tallies its walks, how many reached a CFM point, and
+    the instructions synthesized in plain int fields — cheap enough
+    for the hot path; the simulator folds them into the metrics
+    registry once per run via :meth:`record_metrics`.
+    """
+
+    def __init__(self, program, bias, metrics=None):
         self.program = program
         self.bias = bias
+        #: Kept for signature compatibility; totals are recorded into
+        #: a registry via :meth:`record_metrics`, not per walk.
+        self.metrics = metrics
+        self.walks = 0
+        self.walks_merged = 0
+        self.insts_synthesized = 0
+
+    def record_metrics(self, metrics=None, prefix="wrongpath"):
+        """Fold the walk tallies into a metrics registry (idempotent
+        per call site: counters advance by the delta since last fold)."""
+        registry = metrics if metrics is not None else self.metrics
+        if registry is None:
+            return
+        registry.counter(f"{prefix}_walks_total").inc(self.walks)
+        registry.counter(f"{prefix}_walks_merged_total").inc(
+            self.walks_merged
+        )
+        registry.counter(f"{prefix}_insts_total").inc(
+            self.insts_synthesized
+        )
+        self.walks = self.walks_merged = self.insts_synthesized = 0
 
     def walk(self, start_pc, cfm_pcs, return_cfm, max_insts):
         """Walk from ``start_pc``; returns ``(insts_fetched, merged)``.
@@ -53,6 +80,15 @@ class WrongPathWalker:
         ``insts_fetched`` counts instructions the wrong path consumed
         (capped at ``max_insts``).
         """
+        count, merged = self._walk(start_pc, cfm_pcs, return_cfm,
+                                   max_insts)
+        self.walks += 1
+        self.insts_synthesized += count
+        if merged:
+            self.walks_merged += 1
+        return count, merged
+
+    def _walk(self, start_pc, cfm_pcs, return_cfm, max_insts):
         instructions = self.program.instructions
         bias = self.bias
         pc = start_pc

@@ -1,0 +1,119 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_float_increments(self):
+        counter = Counter("seconds")
+        counter.inc(0.25)
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(0.75)
+
+    def test_rejects_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_edge_values_land_in_their_bucket(self):
+        # Inclusive upper bounds: a value equal to a bound counts there.
+        hist = Histogram("h", (1, 5, 10))
+        for value in (0, 1, 2, 5, 10, 11):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1]   # {0,1}, {2,5}, {10}
+        assert hist.overflow == 1          # {11}
+        assert hist.total == 6
+        assert hist.sum == 29.0
+        assert hist.mean == pytest.approx(29.0 / 6)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h", (1,)).mean == 0.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", (1, 1, 2))
+
+    def test_as_dict_keys_are_strings(self):
+        hist = Histogram("h", (1, 2))
+        hist.observe(1)
+        snapshot = hist.as_dict()
+        assert snapshot["buckets"] == {"1": 1, "2": 0}
+        assert snapshot["count"] == 1
+
+
+class TestRegistry:
+    def test_lookup_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", (1, 2)) is \
+            registry.histogram("h", (1, 2))
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x", (1,))
+        registry.histogram("h", (1,))
+        with pytest.raises(TypeError):
+            registry.counter("h")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1, 3))
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(3)
+        registry.gauge("pvn").set(0.4)
+        snapshot = registry.as_dict()
+        assert snapshot["runs"] == {"kind": "counter", "value": 3}
+        assert snapshot["pvn"] == {"kind": "gauge", "value": 0.4}
+
+    def test_write_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(2)
+        registry.histogram("h", (1, 5)).observe(3)
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == registry.as_dict()
+
+    def test_container_protocol(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1
+        assert registry.names() == ["a"]
+        assert registry.get("a").kind == "counter"
+        assert registry.get("b") is None

@@ -1,0 +1,219 @@
+"""Tracer, sinks, event round-trips, timers, context, manifests."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    NULL_TRACER,
+    PhaseProfile,
+    Tracer,
+    build_manifest,
+    events,
+    get_metrics,
+    get_tracer,
+    iter_records,
+    jsonl_tracer,
+    phase,
+    read_events,
+    read_manifest,
+    telemetry,
+    write_manifest,
+)
+
+SAMPLE_EVENTS = [
+    events.DpredEpisodeStart(branch_pc=7, kind="hammock", cycle=100,
+                             mispredicted=True, wrong_path_insts=12),
+    events.DpredEpisodeMerge(branch_pc=7, cycle=130, duration_cycles=30,
+                             select_uops=3),
+    events.DpredEpisodeEnd(branch_pc=9, cycle=10, duration_cycles=4,
+                           reason="resolved-unmerged"),
+    events.DpredEpisodeFlush(branch_pc=9, cycle=50, duration_cycles=2,
+                             flushed_by_pc=11,
+                             source="branch-mispredict"),
+    events.BranchSelected(branch_pc=3, kind="simple", source="exact",
+                          always_predicate=False, num_cfm_points=1,
+                          num_select_uops=2, dpred_cost=-1.5,
+                          dpred_overhead=2.5, merge_prob_total=1.0),
+    events.BranchRejected(branch_pc=4, reason="cost-model",
+                          dpred_cost=0.7),
+    events.PipelineFlush(pc=5, cycle=60, source="return-mispredict"),
+    events.CacheMiss(level="icache", pc=6, cycle=70, stall_cycles=9),
+    events.SimRunStart(label="gzip/dmp", trace_length=1000,
+                       dmp_enabled=True),
+    events.SimRunEnd(label="gzip/dmp", cycles=500,
+                     retired_instructions=1000, pipeline_flushes=2,
+                     dpred_episodes=3, dpred_episodes_merged=2),
+    events.PhaseEnd(name="simulate", seconds=0.5, events=1000),
+]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(SAMPLE_EVENTS[0])  # no-op, no error
+        NULL_TRACER.close()
+
+    def test_null_tracer_adds_zero_events_in_a_run(self,
+                                                   simple_hammock_program,
+                                                   alternating_memory):
+        from repro.emulator import execute
+        from repro.uarch import TimingSimulator
+
+        trace, _ = execute(simple_hammock_program,
+                           memory=dict(alternating_memory))
+        sink = ListSink()
+        with telemetry(tracer=NULL_TRACER):
+            simulator = TimingSimulator(simple_hammock_program)
+            simulator.run(trace, label="null")
+        assert sink.records == []
+
+
+class TestRoundTrip:
+    def test_every_event_survives_jsonl(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = jsonl_tracer(path)
+        for event in SAMPLE_EVENTS:
+            tracer.emit(event)
+        tracer.close()
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_records_carry_type_and_seq(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = jsonl_tracer(path)
+        for event in SAMPLE_EVENTS:
+            tracer.emit(event)
+        tracer.close()
+        records = list(iter_records(path))
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert records[0]["type"] == "dpred.episode.start"
+
+    def test_list_sink_round_trip(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        for event in SAMPLE_EVENTS:
+            tracer.emit(event)
+        assert sink.events() == SAMPLE_EVENTS
+        tracer.close()
+        assert sink.closed
+
+    def test_unknown_event_type_reads_as_generic(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(
+            {"type": "future.event", "seq": 0, "detail": 42}) + "\n")
+        (event,) = read_events(str(path))
+        assert event.type == "future.event"
+        assert event.payload == {"detail": 42}
+
+    def test_bad_json_raises_with_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_events(str(path))
+
+    def test_all_registered_events_are_dataclasses(self):
+        for cls in events.EVENT_TYPES.values():
+            assert dataclasses.is_dataclass(cls)
+            assert cls.type in events.EVENT_TYPES
+
+
+class TestJsonlSink:
+    def test_accepts_open_file_object(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as handle:
+            sink = JsonlSink(handle)
+            sink.write({"type": "x"})
+            sink.close()  # does not close a borrowed handle
+            assert not handle.closed
+        assert json.loads(path.read_text()) == {"type": "x"}
+
+
+class TestPhaseTimers:
+    def test_phase_records_profile_metrics_and_event(self):
+        profile = PhaseProfile()
+        registry = MetricsRegistry()
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with phase("simulate", profile=profile, metrics=registry,
+                   tracer=tracer) as handle:
+            handle.events = 500
+        assert "simulate" in profile
+        assert profile.seconds("simulate") > 0
+        snapshot = profile.as_dict()["simulate"]
+        assert snapshot["events"] == 500
+        assert snapshot["calls"] == 1
+        assert snapshot["events_per_sec"] > 0
+        assert registry.counter("phase_simulate_calls_total").value == 1
+        assert registry.counter("phase_simulate_events_total").value == 500
+        (event,) = sink.events()
+        assert event.name == "simulate"
+        assert event.events == 500
+
+    def test_phase_records_even_on_exception(self):
+        profile = PhaseProfile()
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with phase("boom", profile=profile, metrics=registry,
+                       tracer=NULL_TRACER):
+                raise RuntimeError("boom")
+        assert profile.as_dict()["boom"]["calls"] == 1
+
+    def test_report_mentions_phases(self):
+        profile = PhaseProfile()
+        profile.record("trace", 0.5, events=1000)
+        profile.record("trace", 0.5, events=1000)
+        text = profile.report()
+        assert "trace" in text
+        assert "x2" in text
+        assert "2000 events" in text
+        assert PhaseProfile().report() == "no phases recorded"
+
+
+class TestTelemetryContext:
+    def test_defaults_are_null_tracer_and_shared_registry(self):
+        assert get_tracer().enabled is False
+        assert get_metrics() is get_metrics()
+
+    def test_nested_contexts_restore(self):
+        outer_metrics = get_metrics()
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with telemetry(tracer=tracer) as bundle:
+            assert get_tracer() is tracer
+            # Unspecified pieces inherit from the surrounding context.
+            assert bundle.metrics is outer_metrics
+            fresh = MetricsRegistry()
+            with telemetry(metrics=fresh):
+                assert get_metrics() is fresh
+                assert get_tracer() is tracer
+            assert get_metrics() is outer_metrics
+        assert get_tracer().enabled is False
+
+
+class TestManifest:
+    def test_build_and_round_trip(self, tmp_path):
+        profile = PhaseProfile()
+        profile.record("simulate", 1.0, events=100)
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        manifest = build_manifest(
+            "python -m repro fig5",
+            args={"scale": 0.5},
+            benchmarks=["gzip"],
+            scale=0.5,
+            phases=profile,
+            metrics=registry,
+            stats={"gzip/dmp": {"ipc": 1.5}},
+        )
+        assert manifest["schema"].startswith("dmp-repro/")
+        assert manifest["args"] == {"scale": 0.5}
+        assert manifest["phases"]["simulate"]["events"] == 100
+        assert manifest["metrics"]["runs"]["value"] == 1
+        assert manifest["stats"]["gzip/dmp"]["ipc"] == 1.5
+        path = str(tmp_path / "sub" / "manifest.json")
+        write_manifest(path, manifest)
+        assert read_manifest(path) == manifest
