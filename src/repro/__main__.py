@@ -11,11 +11,19 @@ Telemetry (see ``docs/observability.md``)::
     python -m repro fig5 --trace run.jsonl --metrics run.json
     python -m repro trace-report run.jsonl
     python -m repro all --manifest results/run_manifest.json
+
+Performance (see ``docs/performance.md``)::
+
+    python -m repro all --jobs 8          # process-pool fan-out
+    python -m repro fig5 --jobs 1         # serial (the old behaviour)
+    python -m repro cache info            # persistent artifact cache
+    python -m repro cache clear
 """
 
 import argparse
 import sys
 
+from repro.exec import artifact_cache, default_jobs
 from repro.experiments import (
     ablations,
     priorwork,
@@ -69,16 +77,38 @@ def main(argv=None):
     parser.add_argument(
         "artifact",
         choices=sorted(ARTIFACTS) + [
-            "all", "ablations", "coverage", "trace-report",
+            "all", "ablations", "coverage", "trace-report", "cache",
         ],
         help="which table/figure to regenerate (or trace-report to "
-             "summarize an event log)",
+             "summarize an event log, or cache to manage the artifact "
+             "cache)",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="for trace-report: the JSONL trace log to summarize",
+        help="for trace-report: the JSONL trace log to summarize; "
+             "for cache: the action (info or clear)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for experiment cells "
+             f"(default: all {default_jobs()} CPUs; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact cache directory (default: "
+             f"$REPRO_CACHE_DIR or {artifact_cache.DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the persistent artifact cache for this run",
     )
     parser.add_argument(
         "--scale",
@@ -118,6 +148,16 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    if args.cache_dir:
+        artifact_cache.set_cache_dir(args.cache_dir)
+    if args.no_disk_cache:
+        artifact_cache.set_disabled(True)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    if args.artifact == "cache":
+        return _run_cache_command(parser, args.path)
+
     if args.artifact == "trace-report":
         if not args.path:
             parser.error("trace-report requires a trace log path")
@@ -135,7 +175,7 @@ def main(argv=None):
     if args.path is not None:
         parser.error(
             f"unexpected positional argument {args.path!r} "
-            f"(only trace-report takes a path)"
+            f"(only trace-report and cache take one)"
         )
 
     benchmarks = (
@@ -191,14 +231,40 @@ def main(argv=None):
     return 0
 
 
+def _run_cache_command(parser, action):
+    """``python -m repro cache {info,clear}``."""
+    action = action or "info"
+    if action == "info":
+        info = artifact_cache.info()
+        state = "enabled" if info["enabled"] else "disabled"
+        print(f"artifact cache at {info['dir']} ({state})")
+        print(
+            f"  {info['entries']} entries, {info['bytes']:,} bytes, "
+            f"format v{info['format_version']}"
+        )
+        return 0
+    if action == "clear":
+        removed = artifact_cache.clear()
+        print(
+            f"artifact cache at {artifact_cache.cache_dir()}: "
+            f"removed {removed} entries"
+        )
+        return 0
+    parser.error(f"unknown cache action {action!r} (use info or clear)")
+
+
 def _run_artifact(args, benchmarks):
     """Dispatch one artifact run under the active telemetry context."""
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
     if args.artifact == "coverage":
         from repro.experiments import coverage
 
-        for name in benchmarks or ["gcc"]:
-            print(coverage.format_result(
-                coverage.run(name, scale=args.scale)))
+        results = coverage.run_many(
+            benchmarks or ["gcc"], scale=args.scale, jobs=jobs
+        )
+        for result in results:
+            print(coverage.format_result(result))
             print()
         return 0
 
@@ -211,7 +277,8 @@ def _run_artifact(args, benchmarks):
             ablations.run_predictor_sensitivity,
             ablations.run_per_app_acc_conf,
         ):
-            result = run(scale=args.scale, benchmarks=benchmarks)
+            result = run(scale=args.scale, benchmarks=benchmarks,
+                         jobs=jobs)
             print(ablations.format_result(result))
             print()
         return 0
@@ -222,7 +289,8 @@ def _run_artifact(args, benchmarks):
         if name == "table1":
             result = module.run()
         else:
-            result = module.run(scale=args.scale, benchmarks=benchmarks)
+            result = module.run(scale=args.scale, benchmarks=benchmarks,
+                                jobs=jobs)
         print(module.format_result(result))
         if args.chart and "means" in result and "series" in result:
             from repro.experiments.charts import (

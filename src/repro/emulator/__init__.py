@@ -8,6 +8,7 @@ part of the paper's simulator at a fidelity Python can afford.
 """
 
 from repro.emulator.state import ArchState
+from repro.emulator.trace import NO_ADDRESS, Trace, TraceView, trace_rows
 from repro.emulator.emulator import (
     DynamicInstruction,
     Emulator,
@@ -19,6 +20,10 @@ __all__ = [
     "ArchState",
     "DynamicInstruction",
     "Emulator",
+    "NO_ADDRESS",
     "RunResult",
+    "Trace",
+    "TraceView",
     "execute",
+    "trace_rows",
 ]

@@ -5,6 +5,7 @@ from dataclasses import dataclass
 from repro.errors import EmulationError
 from repro.isa.instructions import Opcode
 from repro.emulator.state import ArchState
+from repro.emulator.trace import Trace
 
 #: Shift amounts are masked to the register width, like real hardware.
 _SHIFT_MASK = 63
@@ -80,12 +81,14 @@ class Emulator:
         max_instructions:
             Dynamic instruction budget (loop-protection and scale knob).
         trace:
-            If a list, every retired :class:`DynamicInstruction` is
-            appended to it.
+            A :class:`~repro.emulator.trace.Trace` (compact columns,
+            recorded without per-entry objects) or a list (every
+            retired instruction appended as a
+            :class:`DynamicInstruction`).
         on_branch:
             Optional callback ``(pc, taken)`` invoked for every retired
-            conditional branch — the profiler's hook, cheaper than a
-            full trace.
+            conditional branch — the profiler's hook; combined with
+            ``trace`` it collects trace and profile in one pass.
         """
         state = state if state is not None else ArchState()
         program = self.program
@@ -93,7 +96,15 @@ class Emulator:
         pc = program.entry
         count = 0
         halted = False
-        record = trace.append if trace is not None else None
+        if trace is None:
+            record = None
+        elif isinstance(trace, Trace):
+            record = trace.record
+        else:
+            append = trace.append
+
+            def record(pc, next_pc, address=None):
+                append(DynamicInstruction(pc, next_pc, address))
 
         while count < max_instructions:
             if not 0 <= pc < len(instructions):
@@ -107,7 +118,7 @@ class Emulator:
             if op is Opcode.HALT:
                 halted = True
                 if record is not None:
-                    record(DynamicInstruction(pc, pc))
+                    record(pc, pc)
                 break
             if op is Opcode.BEQZ:
                 taken = state.regs[inst.src1] == 0
@@ -144,7 +155,7 @@ class Emulator:
                 self._execute_alu(state, inst)
 
             if record is not None:
-                record(DynamicInstruction(pc, next_pc, address))
+                record(pc, next_pc, address)
             pc = next_pc
 
         return RunResult(instruction_count=count, halted=halted, state=state)
@@ -163,7 +174,14 @@ class Emulator:
         elif op is Opcode.DIV:
             # Division by zero yields zero, like a trap handler returning
             # a defined value; synthetic workloads must not crash the run.
-            result = 0 if b == 0 else int(a / b)
+            # Truncate toward zero without the float detour of int(a / b),
+            # which loses precision for operands above 2**53.
+            if b == 0:
+                result = 0
+            elif (a < 0) != (b < 0):
+                result = -(-a // b) if a < 0 else -(a // -b)
+            else:
+                result = _wrap64(abs(a) // abs(b))
         elif op is Opcode.AND:
             result = a & b
         elif op is Opcode.OR:
@@ -192,12 +210,18 @@ class Emulator:
 
 
 def execute(program, memory=None, max_instructions=1_000_000,
-            collect_trace=True, metrics=None):
+            collect_trace=True, metrics=None, on_branch=None,
+            compact=False):
     """Convenience wrapper: run ``program`` and return ``(trace, result)``.
 
     ``memory`` pre-loads the sparse word memory (this is how workload
     input sets are supplied).  When ``collect_trace`` is False the trace
-    is ``None`` and only the :class:`RunResult` matters.
+    is ``None`` and only the :class:`RunResult` matters.  With
+    ``compact=True`` the trace is a parallel-array
+    :class:`~repro.emulator.trace.Trace` instead of a
+    ``list[DynamicInstruction]`` (severalfold less memory, same replay
+    semantics).  ``on_branch`` is forwarded to :meth:`Emulator.run`, so
+    a profiler can observe the same single pass that records the trace.
 
     ``metrics`` (default: the active telemetry registry) accumulates
     functional-run totals — end-of-run increments only, the emulation
@@ -205,11 +229,15 @@ def execute(program, memory=None, max_instructions=1_000_000,
     """
     from repro.obs.context import get_metrics
 
-    trace = [] if collect_trace else None
+    if collect_trace:
+        trace = Trace() if compact else []
+    else:
+        trace = None
     emulator = Emulator(program)
     state = ArchState(memory=memory)
     result = emulator.run(
-        state=state, max_instructions=max_instructions, trace=trace
+        state=state, max_instructions=max_instructions, trace=trace,
+        on_branch=on_branch,
     )
     registry = metrics if metrics is not None else get_metrics()
     registry.counter("emulator_runs_total").inc()

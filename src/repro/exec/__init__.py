@@ -1,0 +1,28 @@
+"""Experiment execution: process-pool fan-out and the persistent
+artifact cache.
+
+:mod:`repro.exec.engine` turns each figure/table driver into a planned
+list of independent (benchmark, input set, config) cells and runs them
+serially or over a process pool with deterministic, plan-ordered
+gathering.  :mod:`repro.exec.artifact_cache` keeps traces and profiles
+on disk, content-addressed, across processes and invocations.  See
+``docs/performance.md``.
+"""
+
+from repro.exec import artifact_cache
+from repro.exec.engine import (
+    Job,
+    default_jobs,
+    execute,
+    execute_starmap,
+    resolve_jobs,
+)
+
+__all__ = [
+    "Job",
+    "artifact_cache",
+    "default_jobs",
+    "execute",
+    "execute_starmap",
+    "resolve_jobs",
+]

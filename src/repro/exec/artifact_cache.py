@@ -1,0 +1,274 @@
+"""Persistent, content-addressed artifact cache.
+
+Functional traces and profiles are the expensive artifacts of every
+experiment — regenerating them dominates wall-clock time.  The
+in-memory :class:`~repro.experiments.runner.KeyedCache` only helps
+within one process; this module adds an on-disk layer so repeated
+invocations (and every worker of a parallel run) reuse them.
+
+Entries are *content-addressed*: the key is a SHA-256 over the
+program's disassembly and function layout, the memory image (the input
+set), the run budget, and the profiler configuration fingerprint.  Any
+change to the workload generator, the input set, the scale, or the
+profiling predictors therefore produces a different key — a miss —
+rather than a stale hit.  There is no invalidation logic to get wrong.
+
+On-disk format (one file per entry, named ``<key>.dmpart``)::
+
+    MAGIC (8 bytes) | crc32(body) (4 bytes, little-endian) | body
+
+where ``body`` is a pickle of a dict holding the compact trace's
+column bytes and the :class:`~repro.profiling.profiler.ProfileData`.
+A bad magic, short file, CRC mismatch, or unpickling error is treated
+as corruption: the entry is dropped and the caller rebuilds — the
+cache can never make a run fail, only make it faster.  All outcomes
+are counted in the active metrics registry
+(``cache_disk_{hits,misses,corrupt,writes}_total``).
+
+The cache root defaults to ``~/.cache/dmp-repro`` and can be moved
+with the ``REPRO_CACHE_DIR`` environment variable or the CLI's
+``--cache-dir`` flag (:func:`set_cache_dir`); ``REPRO_CACHE_DISABLE=1``
+turns the disk layer off entirely.
+"""
+
+import hashlib
+import logging
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+
+from repro.emulator import Trace
+from repro.obs.context import get_metrics
+
+log = logging.getLogger(__name__)
+
+#: Bump when the on-disk body layout changes; stale-format files from
+#: older versions simply miss (the version is part of the key).
+FORMAT_VERSION = 1
+
+#: File magic: identifies the format and its major version.
+MAGIC = b"DMPART01"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "dmp-repro")
+
+ENTRY_SUFFIX = ".dmpart"
+
+#: Process-wide override installed by the CLI (``--cache-dir``) or by
+#: tests; ``None`` defers to the environment / default.
+_dir_override = None
+_disabled_override = None
+
+
+def set_cache_dir(path):
+    """Override the cache root for this process (``None`` resets)."""
+    global _dir_override
+    _dir_override = path
+
+
+def set_disabled(disabled):
+    """Force the disk cache on/off for this process (``None`` resets)."""
+    global _disabled_override
+    _disabled_override = disabled
+
+
+def cache_dir():
+    """The active cache root (not necessarily created yet)."""
+    if _dir_override is not None:
+        return os.path.abspath(os.path.expanduser(_dir_override))
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return os.path.abspath(os.path.expanduser(env))
+    return os.path.expanduser(DEFAULT_CACHE_DIR)
+
+
+def enabled():
+    """True when the disk layer should be consulted at all."""
+    if _disabled_override is not None:
+        return not _disabled_override
+    return os.environ.get(ENV_CACHE_DISABLE, "") not in ("1", "true", "yes")
+
+
+# -- keys ----------------------------------------------------------------
+
+
+def program_fingerprint(program):
+    """SHA-256 over the disassembly and function layout."""
+    digest = hashlib.sha256()
+    for inst in program.instructions:
+        digest.update(inst.format().encode())
+        digest.update(b"\n")
+    for function in program.functions:
+        digest.update(
+            f"{function.name}:{function.start}:{function.end};".encode()
+        )
+    return digest.hexdigest()
+
+
+def memory_fingerprint(memory):
+    """SHA-256 over the sparse word-memory image (the input set)."""
+    digest = hashlib.sha256()
+    for address in sorted(memory):
+        digest.update(struct.pack("<q", address))
+        digest.update(repr(memory[address]).encode())
+    return digest.hexdigest()
+
+
+def artifact_key(workload, profiler_fingerprint):
+    """The content-addressed key for one (workload, profiler config)."""
+    material = "|".join((
+        f"v{FORMAT_VERSION}",
+        workload.name,
+        workload.input_set,
+        program_fingerprint(workload.program),
+        memory_fingerprint(workload.memory),
+        str(workload.max_instructions),
+        profiler_fingerprint,
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+# -- load / store --------------------------------------------------------
+
+
+def _entry_path(key):
+    return os.path.join(cache_dir(), key + ENTRY_SUFFIX)
+
+
+def load(key):
+    """The cached ``(trace, profile)`` for ``key`` or ``None``.
+
+    Corrupt or unreadable entries are removed and reported as a miss
+    (plus ``cache_disk_corrupt_total``) so the caller rebuilds.
+    """
+    if not enabled():
+        return None
+    metrics = get_metrics()
+    path = _entry_path(key)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        metrics.counter("cache_disk_misses_total").inc()
+        return None
+    try:
+        entry = _decode(blob)
+    except Exception as exc:
+        log.warning("corrupt artifact cache entry %s: %s — rebuilding",
+                    path, exc)
+        metrics.counter("cache_disk_corrupt_total").inc()
+        metrics.counter("cache_disk_misses_total").inc()
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    metrics.counter("cache_disk_hits_total").inc()
+    return entry
+
+
+def store(key, trace, profile):
+    """Write one entry atomically; failures are logged, never raised."""
+    if not enabled():
+        return None
+    metrics = get_metrics()
+    path = _entry_path(key)
+    blob = _encode(trace, profile)
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=cache_dir(), suffix=ENTRY_SUFFIX + ".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError as exc:
+        log.warning("artifact cache write failed for %s: %s", path, exc)
+        metrics.counter("cache_disk_write_errors_total").inc()
+        return None
+    metrics.counter("cache_disk_writes_total").inc()
+    return path
+
+
+def _encode(trace, profile):
+    if not isinstance(trace, Trace):
+        compact = Trace()
+        for dyn in trace:
+            compact.record(dyn.pc, dyn.next_pc, dyn.address)
+        trace = compact
+    pc_bytes, next_pc_bytes, address_bytes = trace.to_bytes()
+    body = pickle.dumps({
+        "format": FORMAT_VERSION,
+        "pcs": pc_bytes,
+        "next_pcs": next_pc_bytes,
+        "addresses": address_bytes,
+        "profile": profile,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+    return MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+
+
+def _decode(blob):
+    header = len(MAGIC) + 4
+    if len(blob) < header or blob[:len(MAGIC)] != MAGIC:
+        raise ValueError("bad magic / truncated header")
+    (crc,) = struct.unpack_from("<I", blob, len(MAGIC))
+    body = blob[header:]
+    if zlib.crc32(body) != crc:
+        raise ValueError("checksum mismatch")
+    payload = pickle.loads(body)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"format version {payload.get('format')!r}")
+    trace = Trace.from_bytes(
+        payload["pcs"], payload["next_pcs"], payload["addresses"]
+    )
+    return trace, payload["profile"]
+
+
+# -- maintenance ---------------------------------------------------------
+
+
+def info():
+    """Summary of the cache directory for ``python -m repro cache info``."""
+    root = cache_dir()
+    entries = 0
+    total_bytes = 0
+    if os.path.isdir(root):
+        for name in os.listdir(root):
+            if name.endswith(ENTRY_SUFFIX):
+                entries += 1
+                try:
+                    total_bytes += os.path.getsize(os.path.join(root, name))
+                except OSError:
+                    pass
+    return {
+        "dir": root,
+        "enabled": enabled(),
+        "entries": entries,
+        "bytes": total_bytes,
+        "format_version": FORMAT_VERSION,
+    }
+
+
+def clear():
+    """Remove every cache entry; returns the number removed."""
+    root = cache_dir()
+    removed = 0
+    if os.path.isdir(root):
+        for name in os.listdir(root):
+            if name.endswith(ENTRY_SUFFIX) or name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(root, name))
+                    removed += 1
+                except OSError:
+                    pass
+    return removed

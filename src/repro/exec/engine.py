@@ -1,0 +1,117 @@
+"""The parallel experiment-execution engine (plan → execute → gather).
+
+Every figure/table driver decomposes into independent *cells* — one
+(benchmark, input set, configuration) simulation each.  A driver
+*plans* by building a list of :class:`Job` objects around a
+module-level cell function, *executes* them with :func:`execute`, and
+*gathers* the results, which come back *in plan order* regardless of
+completion order — so parallel runs are bit-identical to serial ones
+by construction.
+
+``jobs=1`` (the library default) runs the cells inline in the calling
+process: no pool, no pickling, identical to the historical serial
+path.  ``jobs>1`` fans out over a :class:`ProcessPoolExecutor`.  Each
+worker job runs under a *fresh* telemetry bundle
+(:class:`~repro.obs.metrics.MetricsRegistry` +
+:class:`~repro.obs.timers.PhaseProfile`); the snapshots travel back
+with the result and are folded into the parent's active bundle in plan
+order, so ``--metrics`` output and run manifests account for work done
+in workers exactly as if it had run inline.
+
+Workers are forked (the POSIX default), so they inherit the parent's
+warm in-memory caches and any artifact-cache overrides; per-worker
+cache reuse across that worker's jobs comes for free from the module
+state in :mod:`repro.experiments.runner`.
+
+Cell functions must be module-level (picklable) and depend only on
+their arguments — which the experiment pipeline already guarantees:
+artifact building and simulation are deterministic functions of
+(benchmark, input set, scale, config).
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs.context import get_metrics, get_phases, telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import PhaseProfile
+
+
+class Job:
+    """One unit of work: a picklable callable plus its arguments."""
+
+    __slots__ = ("fn", "args", "label")
+
+    def __init__(self, fn, *args, label=None):
+        self.fn = fn
+        self.args = args
+        self.label = label if label is not None else getattr(
+            fn, "__name__", "job"
+        )
+
+    def run(self):
+        return self.fn(*self.args)
+
+    def __repr__(self):
+        return f"Job({self.label}, args={self.args!r})"
+
+
+def default_jobs():
+    """The CLI default for ``--jobs``: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs):
+    """Normalize a ``jobs`` argument: ``None`` means serial (1)."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_job(fn, args):
+    """Worker-side wrapper: isolate telemetry and ship snapshots back."""
+    registry = MetricsRegistry()
+    phases = PhaseProfile()
+    with telemetry(metrics=registry, phases=phases):
+        result = fn(*args)
+    return result, registry.as_dict(), phases.as_dict()
+
+
+def execute(jobs_list, jobs=None):
+    """Run a planned list of :class:`Job` objects; gather in plan order.
+
+    Returns the list of job results, ordered like ``jobs_list``.  With
+    ``jobs`` <= 1 (or fewer than two jobs) everything runs inline under
+    the caller's telemetry; otherwise a process pool of ``jobs``
+    workers is used and worker telemetry snapshots are merged into the
+    active registry/profile, also in plan order.
+
+    A failing job raises its exception in the parent either way.
+    """
+    planned = list(jobs_list)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(planned) <= 1:
+        return [job.run() for job in planned]
+
+    metrics = get_metrics()
+    phases = get_phases()
+    results = []
+    max_workers = min(workers, len(planned))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_run_job, job.fn, job.args) for job in planned
+        ]
+        for future in futures:
+            result, metrics_snapshot, phases_snapshot = future.result()
+            metrics.merge_snapshot(metrics_snapshot)
+            phases.merge_snapshot(phases_snapshot)
+            results.append(result)
+    return results
+
+
+def execute_starmap(fn, argtuples, jobs=None):
+    """Shorthand: plan one :class:`Job` per argument tuple and execute."""
+    return execute([Job(fn, *args) for args in argtuples], jobs=jobs)

@@ -19,6 +19,7 @@ Four studies:
 from repro.core import SelectionConfig
 from repro.core.cost_model import CostModelParams
 from repro.core.thresholds import SelectionThresholds
+from repro.exec import Job, execute
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -29,26 +30,40 @@ from repro.experiments.runner import (
 from repro.uarch import ProcessorConfig
 
 
-def _sweep(configs, scale, benchmarks, processor_configs=None):
-    """Mean speedup for each (label, SelectionConfig) pair."""
-    means = {}
-    for i, (label, config) in enumerate(configs):
+def _bench_cell(name, scale, configs, processor_configs):
+    """One benchmark's speedup per sweep config (a parallel job)."""
+    speedups = []
+    for i, (_, config) in enumerate(configs):
         processor = (
             processor_configs[i] if processor_configs else None
         )
-        speedups = []
-        for name in benchmarks:
-            baseline = run_baseline(name, scale=scale, config=processor)
-            stats, _ = run_selection(
-                name, config, scale=scale, config=processor
-            )
-            speedups.append(stats.speedup_over(baseline))
-        means[label] = mean_speedup(speedups)
-    return means
+        baseline = run_baseline(name, scale=scale, config=processor)
+        stats, _ = run_selection(
+            name, config, scale=scale, config=processor
+        )
+        speedups.append(stats.speedup_over(baseline))
+    return speedups
+
+
+def _sweep(configs, scale, benchmarks, processor_configs=None, jobs=None):
+    """Mean speedup for each (label, SelectionConfig) pair."""
+    configs = list(configs)
+    cells = execute(
+        [Job(_bench_cell, name, scale, configs, processor_configs,
+             label=f"ablation:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    # Per config, the mean runs over benchmarks in benchmark order —
+    # the same float summation order as the serial sweep.
+    return {
+        label: mean_speedup(cell[i] for cell in cells)
+        for i, (label, _) in enumerate(configs)
+    }
 
 
 def run_acc_conf(scale=1.0, benchmarks=None,
-                 values=(0.15, 0.20, 0.30, 0.40, 0.50)):
+                 values=(0.15, 0.20, 0.30, 0.40, 0.50), jobs=None):
     """Cost-model Acc_Conf sweep (paper footnote 5)."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
     configs = [
@@ -62,11 +77,11 @@ def run_acc_conf(scale=1.0, benchmarks=None,
         )
         for value in values
     ]
-    means = _sweep(configs, scale, benchmarks)
+    means = _sweep(configs, scale, benchmarks, jobs=jobs)
     return {"means": means, "kind": "acc_conf", "scale": scale}
 
 
-def run_max_cfm(scale=1.0, benchmarks=None, values=(1, 2, 3)):
+def run_max_cfm(scale=1.0, benchmarks=None, values=(1, 2, 3), jobs=None):
     """MAX_CFM ablation (§3.3 / Table 1's 3 CFM registers)."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
     configs = [
@@ -84,12 +99,12 @@ def run_max_cfm(scale=1.0, benchmarks=None, values=(1, 2, 3)):
         )
         for value in values
     ]
-    means = _sweep(configs, scale, benchmarks)
+    means = _sweep(configs, scale, benchmarks, jobs=jobs)
     return {"means": means, "kind": "max_cfm", "scale": scale}
 
 
 def run_confidence_threshold(scale=1.0, benchmarks=None,
-                             values=(6, 10, 14, 15)):
+                             values=(6, 10, 14, 15), jobs=None):
     """Runtime JRS threshold sweep (Table 1 uses 14)."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
     selection = SelectionConfig.all_best_heur()
@@ -98,11 +113,11 @@ def run_confidence_threshold(scale=1.0, benchmarks=None,
         ProcessorConfig(confidence_threshold=v) for v in values
     ]
     means = _sweep(configs, scale, benchmarks,
-                   processor_configs=processors)
+                   processor_configs=processors, jobs=jobs)
     return {"means": means, "kind": "confidence_threshold", "scale": scale}
 
 
-def run_per_app_acc_conf(scale=1.0, benchmarks=None):
+def run_per_app_acc_conf(scale=1.0, benchmarks=None, jobs=None):
     """§4.1's per-application Acc_Conf vs the fixed 40% assumption."""
     from dataclasses import replace
 
@@ -114,13 +129,13 @@ def run_per_app_acc_conf(scale=1.0, benchmarks=None):
          replace(fixed, per_app_acc_conf=True,
                  name="all-best-cost-perapp")),
     ]
-    means = _sweep(configs, scale, benchmarks)
+    means = _sweep(configs, scale, benchmarks, jobs=jobs)
     return {"means": means, "kind": "per_app_acc_conf", "scale": scale}
 
 
 def run_predictor_sensitivity(scale=1.0, benchmarks=None,
                               kinds=("bimodal", "gshare", "tournament",
-                                     "perceptron")):
+                                     "perceptron"), jobs=None):
     """DMP benefit under different baseline predictors.
 
     The premise check: a better predictor leaves fewer mispredictions,
@@ -133,13 +148,13 @@ def run_predictor_sensitivity(scale=1.0, benchmarks=None,
     configs = [(f"predictor={kind}", selection) for kind in kinds]
     processors = [ProcessorConfig(predictor_kind=kind) for kind in kinds]
     means = _sweep(configs, scale, benchmarks,
-                   processor_configs=processors)
+                   processor_configs=processors, jobs=jobs)
     return {"means": means, "kind": "predictor_sensitivity",
             "scale": scale}
 
 
 def run_easy_branch_filter(scale=1.0, benchmarks=None,
-                           floors=(0.0, 0.01, 0.03)):
+                           floors=(0.0, 0.01, 0.03), jobs=None):
     """§8.3 extension: drop always-easy branches from selection."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
     configs = []
@@ -158,7 +173,7 @@ def run_easy_branch_filter(scale=1.0, benchmarks=None,
                 ),
             )
         )
-    means = _sweep(configs, scale, benchmarks)
+    means = _sweep(configs, scale, benchmarks, jobs=jobs)
     return {"means": means, "kind": "easy_branch_filter", "scale": scale}
 
 

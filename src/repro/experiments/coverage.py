@@ -13,9 +13,19 @@ the flush.
 
 from repro.core import SelectionConfig
 from repro.core.selector import DivergeSelector
+from repro.exec import Job, execute
 from repro.experiments.report import render_table
 from repro.experiments.runner import get_artifacts
 from repro.uarch import TimingSimulator
+
+
+def run_many(benchmark_names, scale=1.0, config=None, top=15, jobs=None):
+    """Coverage analysis for several benchmarks (one job each)."""
+    return execute(
+        [Job(run, name, scale, config, top, label=f"coverage:{name}")
+         for name in benchmark_names],
+        jobs=jobs,
+    )
 
 
 def run(benchmark_name, scale=1.0, config=None, top=15):

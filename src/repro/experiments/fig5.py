@@ -7,6 +7,7 @@ cost-edge, then +short/+ret/+loop, "All-best-cost").  Values are IPC
 improvements over the baseline processor per benchmark, plus the mean.
 """
 
+from repro.exec import Job, execute
 from repro.experiments.configs import COST_CONFIGS, CUMULATIVE_HEURISTICS
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
@@ -17,21 +18,39 @@ from repro.experiments.runner import (
 )
 
 
-def run(scale=1.0, benchmarks=None, side="both"):
-    """``side`` selects "left" (heuristics), "right" (cost) or "both"."""
-    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+def _series(side):
     series = []
     if side in ("left", "both"):
         series.extend(CUMULATIVE_HEURISTICS)
     if side in ("right", "both"):
         series.extend(COST_CONFIGS)
+    return series
 
-    results = {label: {} for label, _ in series}
-    for name in benchmarks:
-        baseline = run_baseline(name, scale=scale)
-        for label, config in series:
-            stats, _ = run_selection(name, config, scale=scale)
-            results[label][name] = stats.speedup_over(baseline)
+
+def _bench_cell(name, scale, side):
+    """One benchmark's speedups for every series (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    cell = {}
+    for label, config in _series(side):
+        stats, _ = run_selection(name, config, scale=scale)
+        cell[label] = stats.speedup_over(baseline)
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, side="both", jobs=None):
+    """``side`` selects "left" (heuristics), "right" (cost) or "both"."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    series = _series(side)
+    cells = execute(
+        [Job(_bench_cell, name, scale, side, label=f"fig5:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    results = {
+        label: {name: cell[label]
+                for name, cell in zip(benchmarks, cells)}
+        for label, _ in series
+    }
 
     means = {
         label: mean_speedup(per_bench.values())

@@ -5,6 +5,7 @@ selection techniques are added cumulatively — the paper's evidence
 that the selected diverge branches actually remove flushes.
 """
 
+from repro.exec import Job, execute
 from repro.experiments.configs import CUMULATIVE_HEURISTICS
 from repro.experiments.report import render_table
 from repro.experiments.runner import (
@@ -14,16 +15,29 @@ from repro.experiments.runner import (
 )
 
 
-def run(scale=1.0, benchmarks=None):
+def _bench_cell(name, scale):
+    """One benchmark's flush rates for every series (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    cell = {"baseline": baseline.flushes_per_kilo_inst}
+    for label, config in CUMULATIVE_HEURISTICS:
+        stats, _ = run_selection(name, config, scale=scale)
+        cell[label] = stats.flushes_per_kilo_inst
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, jobs=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
     labels = ["baseline"] + [label for label, _ in CUMULATIVE_HEURISTICS]
-    flushes = {label: {} for label in labels}
-    for name in benchmarks:
-        baseline = run_baseline(name, scale=scale)
-        flushes["baseline"][name] = baseline.flushes_per_kilo_inst
-        for label, config in CUMULATIVE_HEURISTICS:
-            stats, _ = run_selection(name, config, scale=scale)
-            flushes[label][name] = stats.flushes_per_kilo_inst
+    cells = execute(
+        [Job(_bench_cell, name, scale, label=f"fig6:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    flushes = {
+        label: {name: cell[label]
+                for name, cell in zip(benchmarks, cells)}
+        for label in labels
+    }
     means = {
         label: sum(per.values()) / len(per) for label, per in flushes.items()
     }

@@ -9,6 +9,7 @@ most of the benefit.
 """
 
 from repro.core import SelectionConfig, SelectionThresholds
+from repro.exec import Job, execute
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -22,25 +23,46 @@ MAX_INSTR_VALUES = (10, 50, 100, 200)
 MIN_MERGE_PROB_VALUES = (0.01, 0.05, 0.30, 0.60, 0.90)
 
 
-def run(scale=1.0, benchmarks=None, max_instr_values=MAX_INSTR_VALUES,
-        min_merge_prob_values=MIN_MERGE_PROB_VALUES):
-    benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    grid = {}
+def _grid_configs(max_instr_values, min_merge_prob_values):
     for max_instr in max_instr_values:
         for min_merge in min_merge_prob_values:
             thresholds = SelectionThresholds().with_overrides(
                 max_instr=max_instr, min_merge_prob=min_merge
             )
-            config = SelectionConfig(
+            yield (max_instr, min_merge), SelectionConfig(
                 thresholds=thresholds,
                 name=f"mi{max_instr}-mm{int(min_merge * 100)}",
             )
-            speedups = []
-            for name in benchmarks:
-                baseline = run_baseline(name, scale=scale)
-                stats, _ = run_selection(name, config, scale=scale)
-                speedups.append(stats.speedup_over(baseline))
-            grid[(max_instr, min_merge)] = mean_speedup(speedups)
+
+
+def _bench_cell(name, scale, max_instr_values, min_merge_prob_values):
+    """One benchmark's speedup at every grid point (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    cell = {}
+    for point, config in _grid_configs(
+        max_instr_values, min_merge_prob_values
+    ):
+        stats, _ = run_selection(name, config, scale=scale)
+        cell[point] = stats.speedup_over(baseline)
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, max_instr_values=MAX_INSTR_VALUES,
+        min_merge_prob_values=MIN_MERGE_PROB_VALUES, jobs=None):
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    cells = execute(
+        [Job(_bench_cell, name, scale, tuple(max_instr_values),
+             tuple(min_merge_prob_values), label=f"fig7:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    # Means are taken in benchmark order, exactly like the serial loop.
+    grid = {
+        point: mean_speedup(cell[point] for cell in cells)
+        for point, _ in _grid_configs(
+            max_instr_values, min_merge_prob_values
+        )
+    }
     best = max(grid, key=grid.get)
     return {
         "grid": grid,

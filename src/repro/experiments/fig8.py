@@ -10,6 +10,7 @@ comparatively well only on the simple-hammock-dominated benchmarks
 
 from repro.core import SelectionConfig
 from repro.core.simple_algorithms import SIMPLE_ALGORITHMS
+from repro.exec import Job, execute
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -30,22 +31,36 @@ ALGORITHM_ORDER = (
 )
 
 
-def run(scale=1.0, benchmarks=None):
-    benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    results = {label: {} for label in ALGORITHM_ORDER}
-    for name in benchmarks:
-        baseline = run_baseline(name, scale=scale)
-        artifacts = get_artifacts(name, scale=scale)
-        for label, select in SIMPLE_ALGORITHMS.items():
-            annotation = select(artifacts.program, artifacts.profile)
-            stats = run_annotated(
-                name, annotation, scale=scale, label=f"{name}/{label}"
-            )
-            results[label][name] = stats.speedup_over(baseline)
-        stats, _ = run_selection(
-            name, SelectionConfig.all_best_heur(), scale=scale
+def _bench_cell(name, scale):
+    """One benchmark under every algorithm (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    artifacts = get_artifacts(name, scale=scale)
+    cell = {}
+    for label, select in SIMPLE_ALGORITHMS.items():
+        annotation = select(artifacts.program, artifacts.profile)
+        stats = run_annotated(
+            name, annotation, scale=scale, label=f"{name}/{label}"
         )
-        results["all-best-heur"][name] = stats.speedup_over(baseline)
+        cell[label] = stats.speedup_over(baseline)
+    stats, _ = run_selection(
+        name, SelectionConfig.all_best_heur(), scale=scale
+    )
+    cell["all-best-heur"] = stats.speedup_over(baseline)
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, jobs=None):
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    cells = execute(
+        [Job(_bench_cell, name, scale, label=f"fig8:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    results = {
+        label: {name: cell[label]
+                for name, cell in zip(benchmarks, cells)}
+        for label in ALGORITHM_ORDER
+    }
     means = {
         label: mean_speedup(per.values()) for label, per in results.items()
     }

@@ -7,6 +7,7 @@ significantly sensitive to the profiling input set.
 """
 
 from repro.core import SelectionConfig
+from repro.exec import Job, execute
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -23,20 +24,34 @@ SERIES = (
 )
 
 
-def run(scale=1.0, benchmarks=None):
+def _bench_cell(name, scale):
+    """One benchmark under every profiling input set (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    cell = {}
+    for label, config, profile_set in SERIES:
+        stats, _ = run_selection(
+            name,
+            config,
+            scale=scale,
+            input_set="reduced",
+            profile_input_set=profile_set,
+        )
+        cell[label] = stats.speedup_over(baseline)
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, jobs=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    results = {label: {} for label, _, _ in SERIES}
-    for name in benchmarks:
-        baseline = run_baseline(name, scale=scale)
-        for label, config, profile_set in SERIES:
-            stats, _ = run_selection(
-                name,
-                config,
-                scale=scale,
-                input_set="reduced",
-                profile_input_set=profile_set,
-            )
-            results[label][name] = stats.speedup_over(baseline)
+    cells = execute(
+        [Job(_bench_cell, name, scale, label=f"fig9:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    results = {
+        label: {name: cell[label]
+                for name, cell in zip(benchmarks, cells)}
+        for label, _, _ in SERIES
+    }
     means = {
         label: mean_speedup(per.values()) for label, per in results.items()
     }

@@ -21,6 +21,7 @@ from repro.core.simple_algorithms import (
     select_dual_path,
     select_dynamic_hammock,
 )
+from repro.exec import Job, execute
 from repro.experiments.report import percent, render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -34,25 +35,39 @@ from repro.experiments.runner import (
 SERIES = ("dual-path", "dynamic-hammock", "dmp-all-best")
 
 
-def run(scale=1.0, benchmarks=None):
-    benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    results = {label: {} for label in SERIES}
-    for name in benchmarks:
-        baseline = run_baseline(name, scale=scale)
-        artifacts = get_artifacts(name, scale=scale)
-        for label, select in (
-            ("dual-path", select_dual_path),
-            ("dynamic-hammock", select_dynamic_hammock),
-        ):
-            annotation = select(artifacts.program, artifacts.profile)
-            stats = run_annotated(
-                name, annotation, scale=scale, label=f"{name}/{label}"
-            )
-            results[label][name] = stats.speedup_over(baseline)
-        stats, _ = run_selection(
-            name, SelectionConfig.all_best_heur(), scale=scale
+def _bench_cell(name, scale):
+    """One benchmark under every prior mechanism (a parallel job)."""
+    baseline = run_baseline(name, scale=scale)
+    artifacts = get_artifacts(name, scale=scale)
+    cell = {}
+    for label, select in (
+        ("dual-path", select_dual_path),
+        ("dynamic-hammock", select_dynamic_hammock),
+    ):
+        annotation = select(artifacts.program, artifacts.profile)
+        stats = run_annotated(
+            name, annotation, scale=scale, label=f"{name}/{label}"
         )
-        results["dmp-all-best"][name] = stats.speedup_over(baseline)
+        cell[label] = stats.speedup_over(baseline)
+    stats, _ = run_selection(
+        name, SelectionConfig.all_best_heur(), scale=scale
+    )
+    cell["dmp-all-best"] = stats.speedup_over(baseline)
+    return cell
+
+
+def run(scale=1.0, benchmarks=None, jobs=None):
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    cells = execute(
+        [Job(_bench_cell, name, scale, label=f"priorwork:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
+    results = {
+        label: {name: cell[label]
+                for name, cell in zip(benchmarks, cells)}
+        for label in SERIES
+    }
     means = {
         label: mean_speedup(per.values()) for label, per in results.items()
     }

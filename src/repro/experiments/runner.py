@@ -1,14 +1,19 @@
 """Shared benchmark running and caching for the experiment harnesses.
 
-The expensive artifacts — functional traces and profiles — are cached
-per (benchmark, input set, scale), so running several figures in one
-process (e.g. the benchmark suite) profiles each workload once.  The
-caches are bounded LRU :class:`KeyedCache` objects whose hit/miss
-counters land in the metrics registry, so cache effectiveness is
-visible in ``--metrics`` output instead of silently growing memory.
+The expensive artifacts — functional traces and profiles — are built
+in a *single* emulator pass per (benchmark, input set, scale): the
+profiler observes the traced run through the emulator's ``on_branch``
+hook instead of re-executing the workload.  Artifacts are cached at
+two levels: a bounded in-memory LRU (:class:`KeyedCache`) within the
+process, and the persistent content-addressed disk cache
+(:mod:`repro.exec.artifact_cache`) across processes and invocations.
+All hit/miss counters land in the metrics registry, so cache
+effectiveness is visible in ``--metrics`` output instead of silently
+growing memory.
 
 Every stage runs under a phase timer (:func:`repro.obs.phase`):
-``trace`` (functional execution), ``profile``, ``select``
+``trace`` (the fused functional execution + profiling pass),
+``profile`` (sealing the collected profiles), ``select``
 (diverge-branch selection), and ``simulate`` (timing model), each
 reporting wall-clock seconds and events/sec through the active
 telemetry context.
@@ -16,10 +21,11 @@ telemetry context.
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass, is_dataclass
 
 from repro.core import DivergeSelector
 from repro.emulator import execute
+from repro.exec import artifact_cache
 from repro.obs.context import get_metrics
 from repro.obs.timers import phase
 from repro.profiling import Profiler
@@ -106,17 +112,37 @@ def clear_cache():
 
 
 def get_artifacts(name, input_set="reduced", scale=1.0):
-    """Load, execute, and profile one benchmark (cached)."""
+    """Load, execute, and profile one benchmark (cached, single pass).
+
+    The functional trace and the profile come out of *one* emulator
+    run: the profiler's :class:`~repro.profiling.ProfileCollector`
+    rides along on the ``on_branch`` hook of the traced execution.  On
+    a disk-cache hit no emulation happens at all (the workload is
+    still loaded — the simulator needs the program).
+    """
     key = (name, input_set, scale)
     cached = _artifact_cache.get(key)
     if cached is not None:
         return cached
     workload = load_benchmark(name, input_set=input_set, scale=scale)
+    profiler = Profiler()
+    disk_key = artifact_cache.artifact_key(workload, profiler.fingerprint())
+    entry = artifact_cache.load(disk_key)
+    if entry is not None:
+        trace, profile = entry
+        artifacts = Artifacts(
+            workload=workload, trace=trace, profile=profile
+        )
+        _artifact_cache.put(key, artifacts)
+        return artifacts
+    collector = profiler.collector()
     with phase("trace") as ph:
         trace, result = execute(
             workload.program,
             memory=workload.memory,
             max_instructions=workload.max_instructions,
+            on_branch=collector.on_branch,
+            compact=True,
         )
         ph.events = result.instruction_count
     if not result.halted:
@@ -124,20 +150,31 @@ def get_artifacts(name, input_set="reduced", scale=1.0):
             f"benchmark {name!r} did not halt within its budget"
         )
     with phase("profile") as ph:
-        profile = Profiler().profile(
-            workload.program,
-            memory=workload.memory,
-            max_instructions=workload.max_instructions,
-        )
+        profile = collector.finish(result)
         ph.events = result.instruction_count
+    artifact_cache.store(disk_key, trace, profile)
     artifacts = Artifacts(workload=workload, trace=trace, profile=profile)
     _artifact_cache.put(key, artifacts)
     return artifacts
 
 
+def _config_key(config):
+    """A value-based cache key for a processor config.
+
+    ``id(config)`` is unusable as a key: two equal configs built at
+    different call sites would miss, and worse, a recycled id could
+    alias two *different* configs to the same entry.
+    """
+    if config is None:
+        return None
+    if is_dataclass(config):
+        return (type(config).__name__,) + astuple(config)
+    return config
+
+
 def run_baseline(name, input_set="reduced", scale=1.0, config=None):
     """Simulate the baseline (no DMP) processor on one benchmark (cached)."""
-    key = (name, input_set, scale, id(config) if config else None)
+    key = (name, input_set, scale, _config_key(config))
     cached = _baseline_cache.get(key)
     if cached is not None:
         return cached

@@ -7,6 +7,7 @@ All-best-heur, and the average number of CFM points per diverge branch
 """
 
 from repro.core import SelectionConfig
+from repro.exec import Job, execute
 from repro.experiments.report import render_table
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
@@ -16,28 +17,33 @@ from repro.experiments.runner import (
 )
 
 
-def run(scale=1.0, benchmarks=None):
+def _bench_cell(name, scale):
+    """Characteristics row for one benchmark (a parallel job)."""
+    artifacts = get_artifacts(name, scale=scale)
+    baseline = run_baseline(name, scale=scale)
+    _, annotation = run_selection(
+        name, SelectionConfig.all_best_heur(), scale=scale
+    )
+    return {
+        "benchmark": name,
+        "base_ipc": baseline.ipc,
+        "mpki": baseline.mpki,
+        "insts": baseline.retired_instructions,
+        "static_branches": len(
+            artifacts.program.conditional_branch_pcs()
+        ),
+        "diverge_branches": len(annotation),
+        "avg_cfm": annotation.average_cfm_points,
+    }
+
+
+def run(scale=1.0, benchmarks=None, jobs=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    rows = []
-    for name in benchmarks:
-        artifacts = get_artifacts(name, scale=scale)
-        baseline = run_baseline(name, scale=scale)
-        _, annotation = run_selection(
-            name, SelectionConfig.all_best_heur(), scale=scale
-        )
-        rows.append(
-            {
-                "benchmark": name,
-                "base_ipc": baseline.ipc,
-                "mpki": baseline.mpki,
-                "insts": baseline.retired_instructions,
-                "static_branches": len(
-                    artifacts.program.conditional_branch_pcs()
-                ),
-                "diverge_branches": len(annotation),
-                "avg_cfm": annotation.average_cfm_points,
-            }
-        )
+    rows = execute(
+        [Job(_bench_cell, name, scale, label=f"table2:{name}")
+         for name in benchmarks],
+        jobs=jobs,
+    )
     return {"rows": rows, "scale": scale}
 
 

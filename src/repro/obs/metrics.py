@@ -188,6 +188,41 @@ class MetricsRegistry:
             for name in sorted(self._instruments)
         }
 
+    def merge_snapshot(self, snapshot):
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        The parallel experiment engine runs jobs in worker processes,
+        each under its own registry; the parent merges the returned
+        snapshots so ``--metrics`` output and manifests reflect the
+        whole run.  Counters add; gauges take the snapshot's value
+        (last write wins, so merging in job order reproduces the serial
+        result); histograms add bucket counts (creating the histogram
+        here with the snapshot's bounds when absent).  Returns ``self``
+        for chaining.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).set(entry.get("value", 0))
+            elif kind == "histogram":
+                buckets = entry.get("buckets", {})
+                bounds = tuple(
+                    float(b) if "." in b else int(b) for b in buckets
+                )
+                histogram = self.histogram(name, bounds or (1,))
+                for index, count in enumerate(buckets.values()):
+                    histogram.counts[index] += count
+                histogram.overflow += entry.get("overflow", 0)
+                histogram.total += entry.get("count", 0)
+                histogram.sum += entry.get("sum", 0.0)
+            else:
+                raise ValueError(
+                    f"snapshot entry {name!r} has unknown kind {kind!r}"
+                )
+        return self
+
     def write_json(self, path):
         """Dump :meth:`as_dict` to ``path``; returns the path."""
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)

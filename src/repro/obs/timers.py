@@ -55,6 +55,24 @@ class PhaseProfile:
         entry = self._phases.get(name)
         return entry["seconds"] if entry else 0.0
 
+    def merge_snapshot(self, snapshot):
+        """Fold another profile's :meth:`as_dict` snapshot into this one.
+
+        Used by the parallel engine to combine worker-process phase
+        timings into the parent's profile (wall-clock sums across
+        workers, so parallel runs report total CPU-seconds per phase).
+        """
+        for name, entry in snapshot.items():
+            target = self._phases.get(name)
+            if target is None:
+                target = self._phases[name] = {
+                    "seconds": 0.0, "events": 0, "calls": 0,
+                }
+            target["seconds"] += entry.get("seconds", 0.0)
+            target["events"] += entry.get("events", 0)
+            target["calls"] += entry.get("calls", 0)
+        return self
+
     def as_dict(self):
         """JSON-ready snapshot including derived events/sec."""
         snapshot = {}

@@ -10,13 +10,14 @@ emulator pass with a branch predictor in the loop.
 from repro.profiling.edge_profile import EdgeProfile
 from repro.profiling.branch_profile import BranchProfile
 from repro.profiling.loop_profile import LoopProfile
-from repro.profiling.profiler import ProfileData, Profiler
+from repro.profiling.profiler import ProfileCollector, ProfileData, Profiler
 from repro.profiling.two_d import TwoDProfile, TwoDProfiler
 
 __all__ = [
     "EdgeProfile",
     "BranchProfile",
     "LoopProfile",
+    "ProfileCollector",
     "ProfileData",
     "Profiler",
     "TwoDProfile",

@@ -48,6 +48,57 @@ class ProfileData:
         return self.edge_profile.exec_count(pc) / self.total_instructions
 
 
+class ProfileCollector:
+    """Branch-observation half of one profiling pass.
+
+    Separated from :class:`Profiler` so a *single* emulator run can
+    collect the functional trace and the profile together: the
+    experiment runner passes :attr:`on_branch` to the traced run and
+    calls :meth:`finish` afterwards.  The observations are identical to
+    a dedicated profiling run — the emulator's architectural behaviour
+    does not depend on the hook.
+    """
+
+    def __init__(self, predictor, confidence):
+        self.predictor = predictor
+        self.confidence = confidence
+        self.edge_profile = EdgeProfile()
+        self.branch_profile = BranchProfile()
+        self.loop_profile = LoopProfile()
+        self.branches = 0
+        self.mispredictions = 0
+
+    def on_branch(self, pc, taken):
+        """The emulator ``on_branch`` callback (hot path)."""
+        self.branches += 1
+        predictor = self.predictor
+        predicted = predictor.predict(pc)
+        predictor.update(pc, taken)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredictions += 1
+        confidence = self.confidence
+        low_conf = confidence.is_low_confidence(pc)
+        confidence.update(pc, mispredicted, was_low_confidence=low_conf)
+        self.edge_profile.record(pc, taken)
+        self.branch_profile.record(pc, mispredicted)
+        self.loop_profile.record(pc, taken)
+
+    def finish(self, result):
+        """Seal the profiles; returns the :class:`ProfileData`."""
+        self.loop_profile.finish()
+        return ProfileData(
+            edge_profile=self.edge_profile,
+            branch_profile=self.branch_profile,
+            loop_profile=self.loop_profile,
+            total_instructions=result.instruction_count,
+            total_branches=self.branches,
+            total_mispredictions=self.mispredictions,
+            measured_acc_conf=self.confidence.pvn,
+            halted=result.halted,
+        )
+
+
 class Profiler:
     """Runs a program once and collects all profiles.
 
@@ -68,46 +119,41 @@ class Profiler:
         self.confidence = confidence if confidence is not None \
             else JRSConfidenceEstimator(history_bits=0)
 
-    def profile(self, program, memory=None, max_instructions=1_000_000):
-        """Run ``program`` and return its :class:`ProfileData`."""
+    def collector(self):
+        """A fresh :class:`ProfileCollector` (resets the predictors).
+
+        Hand its ``on_branch`` to any emulator run — typically the same
+        run that records the functional trace — then call ``finish``.
+        """
         self.predictor.reset()
         self.confidence.reset()
-        edge_profile = EdgeProfile()
-        branch_profile = BranchProfile()
-        loop_profile = LoopProfile()
-        counters = {"branches": 0, "mispredictions": 0}
+        return ProfileCollector(self.predictor, self.confidence)
 
+    def fingerprint(self):
+        """Stable description of the profiling configuration.
+
+        Part of the persistent artifact cache key: a different
+        predictor or estimator geometry must produce a cache miss.
+        """
         predictor = self.predictor
         confidence = self.confidence
+        return (
+            f"{type(predictor).__name__}"
+            f"({getattr(predictor, 'num_perceptrons', '')},"
+            f"{getattr(predictor, 'history_bits', '')})/"
+            f"{type(confidence).__name__}"
+            f"({getattr(confidence, 'num_entries', '')},"
+            f"{getattr(confidence, 'history_bits', '')},"
+            f"{getattr(confidence, 'threshold', '')})"
+        )
 
-        def on_branch(pc, taken):
-            counters["branches"] += 1
-            predicted = predictor.predict(pc)
-            predictor.update(pc, taken)
-            mispredicted = predicted != taken
-            if mispredicted:
-                counters["mispredictions"] += 1
-            low_conf = confidence.is_low_confidence(pc)
-            confidence.update(pc, mispredicted, was_low_confidence=low_conf)
-            edge_profile.record(pc, taken)
-            branch_profile.record(pc, mispredicted)
-            loop_profile.record(pc, taken)
-
+    def profile(self, program, memory=None, max_instructions=1_000_000):
+        """Run ``program`` and return its :class:`ProfileData`."""
+        collector = self.collector()
         emulator = Emulator(program)
         result = emulator.run(
             state=ArchState(memory=memory),
             max_instructions=max_instructions,
-            on_branch=on_branch,
+            on_branch=collector.on_branch,
         )
-        loop_profile.finish()
-
-        return ProfileData(
-            edge_profile=edge_profile,
-            branch_profile=branch_profile,
-            loop_profile=loop_profile,
-            total_instructions=result.instruction_count,
-            total_branches=counters["branches"],
-            total_mispredictions=counters["mispredictions"],
-            measured_acc_conf=confidence.pvn,
-            halted=result.halted,
-        )
+        return collector.finish(result)

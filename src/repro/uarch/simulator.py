@@ -41,6 +41,7 @@ from repro.branchpred import (
     make_predictor,
 )
 from repro.core.marks import DivergeKind
+from repro.emulator import trace_rows
 from repro.errors import SimulationError
 from repro.isa.instructions import Opcode
 from repro.memory import MemoryHierarchy
@@ -347,8 +348,7 @@ class TimingSimulator:
                 if ep.resolve > ready:
                     reg_ready[reg] = ep.resolve
 
-        for dyn in trace:
-            pc = dyn.pc
+        for pc, next_pc, address in trace_rows(trace):
             inst = instructions[pc]
 
             # ---- episode bookkeeping at the fetch boundary ----------
@@ -403,9 +403,9 @@ class TimingSimulator:
                 if ready > start:
                     start = ready
             if inst.is_load:
-                complete = start + memory.data_latency(dyn.address)
+                complete = start + memory.data_latency(address)
             elif inst.is_store:
-                memory.data_latency(dyn.address)
+                memory.data_latency(address)
                 complete = start + inst.latency
             else:
                 complete = start + inst.latency
@@ -417,7 +417,7 @@ class TimingSimulator:
             stats.retired_instructions += 1
 
             # ---- control flow -----------------------------------------
-            taken = dyn.next_pc != pc + 1
+            taken = next_pc != pc + 1
             if inst.is_conditional_branch:
                 stats.conditional_branches += 1
                 predicted = predictor.predict(pc)
@@ -545,26 +545,26 @@ class TimingSimulator:
                     slots_used = 0
                     cond_used = 0
                 if taken and not mispredicted:
-                    bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                    bubble = self._btb_miss_bubble(pc, next_pc)
                     if bubble:
                         cycle += bubble
                         slots_used = 0
                         cond_used = 0
             elif inst.op is Opcode.JMP:
-                bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                bubble = self._btb_miss_bubble(pc, next_pc)
                 if bubble:
                     cycle += bubble
                     slots_used = 0
                     cond_used = 0
             elif inst.is_call:
                 self.ras.push(pc + 1)
-                bubble = self._btb_miss_bubble(pc, dyn.next_pc)
+                bubble = self._btb_miss_bubble(pc, next_pc)
                 if bubble:
                     cycle += bubble
                     slots_used = 0
                     cond_used = 0
             elif inst.is_return:
-                correct = self.ras.pop_predict(dyn.next_pc)
+                correct = self.ras.pop_predict(next_pc)
                 if not correct:
                     stats.pipeline_flushes += 1
                     if traced:

@@ -2,7 +2,22 @@
 
 import pytest
 
+from repro.exec import artifact_cache
 from repro.isa import ProgramBuilder, assemble
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the persistent artifact cache at a per-test directory.
+
+    Keeps the suite hermetic: no test reads artifacts a previous run
+    (or the developer's real experiments) left in ``~/.cache``.
+    """
+    monkeypatch.delenv(artifact_cache.ENV_CACHE_DISABLE, raising=False)
+    monkeypatch.setenv(
+        artifact_cache.ENV_CACHE_DIR, str(tmp_path / "artifact-cache")
+    )
+    yield
 
 
 @pytest.fixture

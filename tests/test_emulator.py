@@ -50,6 +50,33 @@ class TestALUSemantics:
         )
         assert result.state.regs[3] == -3
 
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (2**62 + 3, 3),
+            (-(2**62 + 3), 3),
+            (2**62 + 3, -3),
+            (-(2**62 + 3), -3),
+            (2**63 - 1, 1),
+            (2**53 + 1, 1),
+        ],
+    )
+    def test_division_exact_above_float_precision(self, a, b):
+        # int(a / b) would round through a 53-bit float here.
+        _, result = run_asm(
+            f"    movi r1, {a}\n    movi r2, {b}\n    div r3, r1, r2"
+        )
+        quotient = abs(a) // abs(b)
+        expected = -quotient if (a < 0) != (b < 0) else quotient
+        assert result.state.regs[3] == expected
+
+    def test_division_overflow_wraps_like_other_alu_ops(self):
+        # INT64_MIN / -1 does not fit in 64 bits; it wraps, as ADD/MUL do.
+        _, result = run_asm(
+            f"    movi r1, {-2**63}\n    movi r2, -1\n    div r3, r1, r2"
+        )
+        assert result.state.regs[3] == -(2**63)
+
     def test_shift_amount_masked(self):
         _, result = run_asm(
             "    movi r1, 1\n    movi r2, 65\n    shl r3, r1, r2"
