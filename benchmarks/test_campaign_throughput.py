@@ -1,0 +1,133 @@
+"""Campaign-engine throughput benchmarks (not paper figures).
+
+Times the sweep-campaign subsystem introduced with ``repro.campaign``:
+scheduler cell throughput at one and two workers (fork + pipe + journal
+overhead per cell, using a trivial cell function so the harness itself
+is what's measured), the durable journal's per-record write cost
+(flush + fsync), and the resume overhead of replaying a finished
+campaign.  The measured numbers are written to
+``benchmarks/results/BENCH_campaign.json`` so the performance
+trajectory covers the new subsystem.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.campaign import Axis, CampaignSpec, Journal, Scheduler, replay
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Fixed sweep shape so timings are comparable across runs.
+N_BENCHMARKS = 4
+N_VALUES = 6
+JOURNAL_RECORDS = 500
+
+_RESULTS = {}
+
+
+def bench_cell(params):
+    """A trivial cell: the benchmark then measures pure harness cost."""
+    return {
+        "speedup": 0.1,
+        "baseline": {"ipc": 1.0},
+        "stats": {"ipc": 1.1},
+    }
+
+
+def _spec():
+    return CampaignSpec(
+        name="bench",
+        benchmarks=tuple(f"wl{i}" for i in range(N_BENCHMARKS)),
+        scale=0.1,
+        selection="exact-freq",
+        axes=(Axis("max_instr", tuple(range(10, 10 + N_VALUES))),),
+        cell="test_campaign_throughput:bench_cell",
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def campaign_report():
+    yield
+    if not _RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "cells": N_BENCHMARKS * N_VALUES,
+        "journal_records": JOURNAL_RECORDS,
+        **{name: value for name, value in sorted(_RESULTS.items())},
+    }
+    path = RESULTS_DIR / "BENCH_campaign.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] campaign timings written to {path}")
+
+
+def _drain(tmp_path, jobs):
+    spec = _spec()
+    journal_path = tmp_path / "journal.jsonl"
+    with Journal(journal_path) as journal:
+        out = Scheduler(spec, journal, jobs=jobs).run(replay(journal_path))
+    assert len(out["results"]) == len(spec.cells())
+    return out
+
+
+def test_scheduler_cells_per_sec_one_worker(benchmark, tmp_path_factory):
+    def run():
+        return _drain(tmp_path_factory.mktemp("camp1"), jobs=1)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    cells = N_BENCHMARKS * N_VALUES
+    _RESULTS["scheduler_seconds_jobs1"] = benchmark.stats.stats.min
+    _RESULTS["cells_per_sec_jobs1"] = cells / benchmark.stats.stats.min
+
+
+def test_scheduler_cells_per_sec_two_workers(benchmark,
+                                             tmp_path_factory):
+    def run():
+        return _drain(tmp_path_factory.mktemp("camp2"), jobs=2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    cells = N_BENCHMARKS * N_VALUES
+    _RESULTS["scheduler_seconds_jobs2"] = benchmark.stats.stats.min
+    _RESULTS["cells_per_sec_jobs2"] = cells / benchmark.stats.stats.min
+
+
+def test_journal_write_cost(benchmark, tmp_path_factory):
+    """Per-record append cost including flush + fsync durability."""
+
+    def write_records():
+        path = tmp_path_factory.mktemp("journal") / "journal.jsonl"
+        with Journal(path) as journal:
+            for index in range(JOURNAL_RECORDS):
+                journal.cell_finish(
+                    f"cell{index:06d}", 1, 0.25,
+                    {"speedup": 0.1, "baseline": {"ipc": 1.0},
+                     "stats": {"ipc": 1.1}},
+                )
+
+    benchmark.pedantic(write_records, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.min
+    _RESULTS["journal_write_seconds"] = seconds
+    _RESULTS["journal_appends_per_sec"] = JOURNAL_RECORDS / seconds
+
+
+def test_resume_overhead(benchmark, tmp_path_factory):
+    """Replaying a finished campaign and discovering there is no work."""
+    tmp_path = tmp_path_factory.mktemp("resume")
+    _drain(tmp_path, jobs=1)
+    spec = _spec()
+    journal_path = tmp_path / "journal.jsonl"
+
+    def resume():
+        state = replay(journal_path)
+        pending = state.pending_cells(spec)
+        assert not pending
+        return state
+
+    state = benchmark.pedantic(resume, rounds=5, iterations=1)
+    assert len(state.results) == len(spec.cells())
+    _RESULTS["resume_replay_seconds"] = benchmark.stats.stats.min

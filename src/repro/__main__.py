@@ -18,6 +18,13 @@ Performance (see ``docs/performance.md``)::
     python -m repro fig5 --jobs 1         # serial (the old behaviour)
     python -m repro cache info            # persistent artifact cache
     python -m repro cache clear
+
+Campaigns (see ``docs/campaigns.md``)::
+
+    python -m repro campaign run fig7 --scale 0.5 --jobs 8
+    python -m repro campaign status fig7
+    python -m repro campaign resume fig7     # after a crash or ^C
+    python -m repro campaign report fig7
 """
 
 import argparse
@@ -66,6 +73,11 @@ DEFAULT_ALL_MANIFEST = "results/run_manifest.json"
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -81,7 +93,8 @@ def main(argv=None):
         ],
         help="which table/figure to regenerate (or trace-report to "
              "summarize an event log, or cache to manage the artifact "
-             "cache)",
+             "cache; 'campaign run/resume/status/report' manages "
+             "durable sweeps — see docs/campaigns.md)",
     )
     parser.add_argument(
         "path",

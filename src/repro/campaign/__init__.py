@@ -1,0 +1,60 @@
+"""Resumable, fault-tolerant design-space sweep campaigns.
+
+A *campaign* turns a design-space sweep — benchmark × input set ×
+selection algorithm × threshold/processor parameters — into a durable,
+restartable unit of work instead of one monolithic in-memory pass:
+
+- :mod:`repro.campaign.spec` — the declarative :class:`CampaignSpec`
+  (grid axes, deterministic content-hashed cell IDs, the default
+  baseline→selection→DMP cell function);
+- :mod:`repro.campaign.journal` — the append-only JSONL journal whose
+  replay *is* the resume protocol;
+- :mod:`repro.campaign.scheduler` — per-cell worker processes with
+  timeout, bounded retry with exponential backoff, and quarantine;
+- :mod:`repro.campaign.report` — status and deterministic reporting
+  (per-cell stats, mean speedups, Fig. 7-style sensitivity grids);
+- :mod:`repro.campaign.cli` — ``python -m repro campaign
+  {run,resume,status,report}``.
+
+See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.journal import Journal, JournalState, replay
+from repro.campaign.report import (
+    aggregate_means,
+    render_report,
+    render_status,
+)
+from repro.campaign.scheduler import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_ATTEMPTS,
+    Scheduler,
+)
+from repro.campaign.spec import (
+    Axis,
+    CampaignSpec,
+    Cell,
+    SELECTION_PRESETS,
+    build_selection,
+    content_hash,
+    run_cell,
+)
+
+__all__ = [
+    "Axis",
+    "CampaignSpec",
+    "Cell",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_ATTEMPTS",
+    "Journal",
+    "JournalState",
+    "SELECTION_PRESETS",
+    "Scheduler",
+    "aggregate_means",
+    "build_selection",
+    "content_hash",
+    "render_report",
+    "render_status",
+    "replay",
+    "run_cell",
+]

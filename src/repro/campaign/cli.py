@@ -1,0 +1,260 @@
+"""``python -m repro campaign {run,resume,status,report}``.
+
+A campaign lives in one directory (default
+``results/campaigns/<name>/``) holding exactly two files: the frozen
+``spec.json`` and the append-only ``journal.jsonl``.  ``run`` creates
+the directory and drains the sweep; ``resume`` replays the journal and
+re-runs only pending/failed cells; ``status`` and ``report`` are pure
+readers.  Exit codes: 0 — all cells settled (completed or
+quarantined); 3 — interrupted with pending cells (``--max-cells`` or
+SIGINT); 130 — SIGINT; 1 — usage or spec errors.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.campaign.journal import (
+    JOURNAL_NAME,
+    SPEC_NAME,
+    Journal,
+    replay,
+)
+from repro.campaign.report import render_report, render_status
+from repro.campaign.scheduler import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_ATTEMPTS,
+    Scheduler,
+)
+from repro.campaign.spec import CampaignSpec
+
+#: Campaign directories live here unless ``--results-dir`` overrides.
+DEFAULT_RESULTS_DIR = os.path.join("results", "campaigns")
+
+
+def builtin_specs():
+    """Named spec builders: ``(scale, benchmarks) -> CampaignSpec``."""
+    from repro.experiments import ablations, fig7
+
+    return {
+        "fig7": fig7.campaign_spec,
+        "confidence-threshold":
+            ablations.campaign_spec_confidence_threshold,
+        "predictor-sensitivity":
+            ablations.campaign_spec_predictor_sensitivity,
+        "max-cfm": ablations.campaign_spec_max_cfm,
+    }
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(parser, args)
+    except KeyboardInterrupt:
+        print("\ncampaign interrupted; resume with: "
+              "python -m repro campaign resume <name>", file=sys.stderr)
+        return 130
+    except (ValueError, OSError) as exc:
+        print(f"python -m repro campaign: error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Resumable, fault-tolerant design-space sweep campaigns "
+            "(see docs/campaigns.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="start a new campaign from a builtin or JSON spec"
+    )
+    run.add_argument(
+        "spec",
+        help="builtin spec name "
+             f"({', '.join(sorted(builtin_specs()))}) or a spec.json path",
+    )
+    run.add_argument("--name", default=None,
+                     help="campaign name (default: the spec's name)")
+    run.add_argument("--scale", type=float, default=None,
+                     help="trace-length multiplier override")
+    run.add_argument("--benchmarks", default="",
+                     help="comma-separated benchmark subset override")
+    run.add_argument("--fresh", action="store_true",
+                     help="discard an existing journal for this name")
+    _add_exec_args(run)
+    run.set_defaults(handler=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="re-run only the pending/failed cells"
+    )
+    resume.add_argument("target", help="campaign name or directory")
+    _add_exec_args(resume)
+    resume.set_defaults(handler=_cmd_resume)
+
+    status = sub.add_parser("status", help="progress and failure summary")
+    status.add_argument("target", help="campaign name or directory")
+    status.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    status.set_defaults(handler=_cmd_status)
+
+    report = sub.add_parser(
+        "report", help="deterministic per-cell and aggregate tables"
+    )
+    report.add_argument("target", help="campaign name or directory")
+    report.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def _add_exec_args(sub):
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="concurrent cell workers (default 1)")
+    sub.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-cell wall-clock budget in seconds")
+    sub.add_argument("--retries", type=int,
+                     default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                     help="total attempts before quarantine "
+                          f"(default {DEFAULT_MAX_ATTEMPTS})")
+    sub.add_argument("--backoff", type=float,
+                     default=DEFAULT_BACKOFF, metavar="S",
+                     help="first-retry backoff seconds, doubling "
+                          f"(default {DEFAULT_BACKOFF})")
+    sub.add_argument("--max-cells", type=int, default=None, metavar="N",
+                     help="stop after N completed cells (for smoke "
+                          "tests of resume)")
+    sub.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
+                     help=f"campaign root (default {DEFAULT_RESULTS_DIR})")
+
+
+def _campaign_dir(target, results_dir):
+    """Resolve a campaign name-or-directory to its directory."""
+    if os.path.isdir(target) \
+            and os.path.exists(os.path.join(target, SPEC_NAME)):
+        return target
+    return os.path.join(results_dir, target)
+
+
+def _cmd_run(parser, args):
+    spec = _resolve_spec(args)
+    name = args.name or spec.name
+    directory = os.path.join(args.results_dir, name)
+    journal_path = os.path.join(directory, JOURNAL_NAME)
+    if args.fresh and os.path.exists(directory):
+        for filename in (JOURNAL_NAME, SPEC_NAME):
+            path = os.path.join(directory, filename)
+            if os.path.exists(path):
+                os.remove(path)
+    if os.path.exists(journal_path) \
+            and os.path.getsize(journal_path) > 0:
+        parser.error(
+            f"campaign {name!r} already has a journal at "
+            f"{journal_path}; use 'campaign resume {name}' "
+            f"(or run --fresh to discard it)"
+        )
+    os.makedirs(directory, exist_ok=True)
+    spec.dump(os.path.join(directory, SPEC_NAME))
+    return _execute(spec, directory, args, replay(journal_path))
+
+
+def _cmd_resume(parser, args):
+    directory = _campaign_dir(args.target, args.results_dir)
+    spec_path = os.path.join(directory, SPEC_NAME)
+    if not os.path.exists(spec_path):
+        parser.error(f"no campaign spec at {spec_path}")
+    spec = CampaignSpec.load(spec_path)
+    state = replay(os.path.join(directory, JOURNAL_NAME))
+    if state.spec_hash is not None and state.spec_hash != spec.spec_hash:
+        parser.error(
+            f"journal was written for spec {state.spec_hash} but "
+            f"{SPEC_NAME} now hashes to {spec.spec_hash}; refusing "
+            f"to mix results"
+        )
+    return _execute(spec, directory, args, state)
+
+
+def _execute(spec, directory, args, state):
+    if args.jobs < 1:
+        raise ValueError("--jobs must be >= 1")
+    pending = state.pending_cells(spec)
+    total = len(spec.cells())
+    if not pending:
+        print(f"campaign {spec.name!r}: all {total} cells already "
+              f"settled; nothing to do")
+        print(f"  report: python -m repro campaign report {spec.name}")
+        return 0
+    print(f"campaign {spec.name!r}: {len(pending)}/{total} cells to "
+          f"run under {args.jobs} worker(s) [{directory}]")
+    with Journal(os.path.join(directory, JOURNAL_NAME)) as journal:
+        journal.campaign_start(spec.name, spec.spec_hash, args.jobs)
+        scheduler = Scheduler(
+            spec, journal,
+            jobs=args.jobs,
+            max_attempts=args.retries,
+            backoff=args.backoff,
+            cell_timeout=args.timeout,
+        )
+        summary = scheduler.run(state, max_cells=args.max_cells)
+    completed = len(summary["results"])
+    quarantined = len(summary["quarantined"])
+    print(f"campaign {spec.name!r}: {completed}/{total} cells complete, "
+          f"{quarantined} quarantined, "
+          f"{summary['session_completed']} run this session")
+    if summary["interrupted"]:
+        print(f"  interrupted with {summary['pending']} cells pending; "
+              f"resume with: python -m repro campaign resume {spec.name}")
+        return 3
+    print(f"  report: python -m repro campaign report {spec.name}")
+    return 0
+
+
+def _cmd_status(parser, args):
+    directory = _campaign_dir(args.target, args.results_dir)
+    spec_path = os.path.join(directory, SPEC_NAME)
+    if not os.path.exists(spec_path):
+        parser.error(f"no campaign spec at {spec_path}")
+    spec = CampaignSpec.load(spec_path)
+    state = replay(os.path.join(directory, JOURNAL_NAME))
+    print(render_status(spec, state, directory=directory))
+    return 0
+
+
+def _cmd_report(parser, args):
+    directory = _campaign_dir(args.target, args.results_dir)
+    spec_path = os.path.join(directory, SPEC_NAME)
+    if not os.path.exists(spec_path):
+        parser.error(f"no campaign spec at {spec_path}")
+    spec = CampaignSpec.load(spec_path)
+    state = replay(os.path.join(directory, JOURNAL_NAME))
+    print(render_report(spec, state.results,
+                        quarantined=state.quarantined))
+    return 0
+
+
+def _resolve_spec(args):
+    builders = builtin_specs()
+    benchmarks = [
+        b.strip() for b in args.benchmarks.split(",") if b.strip()
+    ] or None
+    if args.spec in builders:
+        scale = args.scale if args.scale is not None else 1.0
+        return builders[args.spec](scale=scale, benchmarks=benchmarks)
+    if not os.path.exists(args.spec):
+        raise ValueError(
+            f"{args.spec!r} is neither a builtin spec "
+            f"({', '.join(sorted(builders))}) nor a spec file"
+        )
+    spec = CampaignSpec.load(args.spec)
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if benchmarks:
+        overrides["benchmarks"] = tuple(benchmarks)
+    if overrides:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, **overrides)
+    return spec

@@ -1,0 +1,179 @@
+"""The durable campaign journal: append-only JSONL, replayable.
+
+Every state transition of a campaign is one line in
+``results/campaigns/<name>/journal.jsonl``:
+
+- ``campaign.start`` — a scheduler session began (one per run/resume),
+  carrying the spec hash so resume can refuse a mismatched spec;
+- ``cell.start`` — a cell attempt was handed to a worker;
+- ``cell.finish`` — the attempt succeeded, with the cell's result dict;
+- ``cell.fail`` — the attempt raised, crashed, or timed out;
+- ``cell.quarantine`` — the cell exhausted its attempt budget and is
+  now an explicit gap.
+
+Records are flushed and fsynced as they are written, so the journal
+survives ``kill -9`` of the scheduler: at worst the trailing line is
+truncated, which :func:`replay` tolerates (a started-but-unfinished
+cell simply counts as pending again).  Replaying the journal plus the
+spec is the *entire* resume protocol — there is no other state.
+"""
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+#: Journal file name inside a campaign directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Spec file name inside a campaign directory.
+SPEC_NAME = "spec.json"
+
+
+class Journal:
+    """Append-only JSONL writer with per-record durability."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record):
+        """Write one record durably; returns the record."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return record
+
+    def close(self):
+        self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- record constructors (all include a wall-clock timestamp) -----
+
+    def campaign_start(self, name, spec_hash, jobs):
+        return self.append({
+            "type": "campaign.start", "campaign": name,
+            "spec_hash": spec_hash, "jobs": jobs, "ts": time.time(),
+        })
+
+    def cell_start(self, cell_id, attempt):
+        return self.append({
+            "type": "cell.start", "cell_id": cell_id,
+            "attempt": attempt, "ts": time.time(),
+        })
+
+    def cell_finish(self, cell_id, attempt, seconds, result):
+        return self.append({
+            "type": "cell.finish", "cell_id": cell_id,
+            "attempt": attempt, "seconds": seconds,
+            "result": result, "ts": time.time(),
+        })
+
+    def cell_fail(self, cell_id, attempt, kind, error, seconds):
+        return self.append({
+            "type": "cell.fail", "cell_id": cell_id,
+            "attempt": attempt, "kind": kind, "error": error,
+            "seconds": seconds, "ts": time.time(),
+        })
+
+    def cell_quarantine(self, cell_id, attempts):
+        return self.append({
+            "type": "cell.quarantine", "cell_id": cell_id,
+            "attempts": attempts, "ts": time.time(),
+        })
+
+
+@dataclass
+class JournalState:
+    """The durable state reconstructed by :func:`replay`."""
+
+    spec_hash: str = None
+    #: cell_id -> result dict of the first successful attempt.
+    results: dict = field(default_factory=dict)
+    #: cell_id -> number of *failed* attempts so far.
+    failures: dict = field(default_factory=dict)
+    #: cell_id -> last failure record (kind/error), for status output.
+    last_failure: dict = field(default_factory=dict)
+    quarantined: set = field(default_factory=set)
+    #: cell_ids with a start but (yet) no finish/fail — in-flight when
+    #: the previous session died; they count as pending on resume.
+    in_flight: set = field(default_factory=set)
+    records: int = 0
+    sessions: int = 0
+    #: Truncated/corrupt lines skipped (normally 0 or a trailing 1).
+    corrupt_lines: int = 0
+
+    @property
+    def completed(self):
+        return set(self.results)
+
+    def pending_cells(self, spec):
+        """Spec cells still needing work, in spec order."""
+        return [
+            cell for cell in spec.cells()
+            if cell.cell_id not in self.results
+            and cell.cell_id not in self.quarantined
+        ]
+
+
+def replay(path):
+    """Fold a journal back into a :class:`JournalState`.
+
+    Missing file means a fresh campaign (empty state).  A corrupt line
+    (torn write from a crash) is counted and skipped; everything that
+    was durably recorded before it still replays.
+    """
+    state = JournalState()
+    if not os.path.exists(path):
+        return state
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                state.corrupt_lines += 1
+                continue
+            state.records += 1
+            _apply(state, record)
+    return state
+
+
+def _apply(state, record):
+    kind = record.get("type")
+    cell_id = record.get("cell_id")
+    if kind == "campaign.start":
+        state.sessions += 1
+        spec_hash = record.get("spec_hash")
+        if state.spec_hash is None:
+            state.spec_hash = spec_hash
+        elif spec_hash != state.spec_hash:
+            raise ValueError(
+                f"journal mixes spec hashes {state.spec_hash!r} and "
+                f"{spec_hash!r}; refusing to resume"
+            )
+    elif kind == "cell.start":
+        state.in_flight.add(cell_id)
+    elif kind == "cell.finish":
+        state.in_flight.discard(cell_id)
+        # First success wins; a duplicate (replayed cell) must agree.
+        state.results.setdefault(cell_id, record.get("result"))
+    elif kind == "cell.fail":
+        state.in_flight.discard(cell_id)
+        state.failures[cell_id] = state.failures.get(cell_id, 0) + 1
+        state.last_failure[cell_id] = {
+            "kind": record.get("kind"), "error": record.get("error"),
+        }
+    elif kind == "cell.quarantine":
+        state.quarantined.add(cell_id)
+    # Unknown record types are ignored so newer journals still replay.

@@ -1,0 +1,302 @@
+"""The fault-tolerant campaign scheduler.
+
+Each cell attempt runs in its *own* forked worker process, which buys
+three properties the plain :class:`~concurrent.futures.ProcessPoolExecutor`
+cannot offer:
+
+- **timeout enforcement** — a cell that exceeds its budget is
+  terminated, not merely abandoned;
+- **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  OOM-kill) fails only its own cell; the scheduler keeps draining the
+  rest of the sweep;
+- **bounded retry + quarantine** — a failed cell is retried with
+  exponential backoff up to ``max_attempts`` total attempts, then
+  quarantined: journaled as an explicit gap that the report renders as
+  such instead of the whole sweep dying at cell 400/500.
+
+Every transition is journaled *before* the next action is taken, so a
+``kill -9`` of the scheduler itself loses at most the in-flight cells,
+which replay as pending.  Successful workers ship their telemetry
+snapshots back over the result pipe and the parent folds them into the
+active registry/profile (completion order), alongside the campaign's
+own ``campaign_cells_{completed,retried,quarantined}_total`` counters
+and ``campaign.cell.*`` trace events.
+"""
+
+import heapq
+import multiprocessing
+import time
+from multiprocessing.connection import wait as connection_wait
+
+from repro.campaign.spec import resolve_cell_fn
+from repro.obs import events
+from repro.obs.context import get_metrics, get_phases, get_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import PhaseProfile
+
+#: Total attempts (first try + retries) before a cell is quarantined.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: First-retry backoff in seconds; doubles per subsequent attempt.
+DEFAULT_BACKOFF = 0.5
+
+#: How long the scheduler sleeps waiting for worker events.
+_POLL_SECONDS = 0.05
+
+
+def _cell_worker(conn, fn, params):
+    """Run one cell under fresh telemetry; ship outcome over the pipe."""
+    from repro.obs.context import telemetry
+
+    registry = MetricsRegistry()
+    phases = PhaseProfile()
+    try:
+        with telemetry(metrics=registry, phases=phases):
+            result = fn(params)
+        payload = {
+            "ok": True,
+            "result": result,
+            "metrics": registry.as_dict(),
+            "phases": phases.as_dict(),
+        }
+    except BaseException as exc:  # noqa: BLE001 — must reach the parent
+        payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One live worker process for one cell attempt."""
+
+    __slots__ = ("cell", "attempt", "process", "conn", "started")
+
+    def __init__(self, cell, attempt, process, conn):
+        self.cell = cell
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = time.monotonic()
+
+
+class Scheduler:
+    """Drains a campaign's pending cells through worker processes."""
+
+    def __init__(self, spec, journal, jobs=1,
+                 max_attempts=DEFAULT_MAX_ATTEMPTS,
+                 backoff=DEFAULT_BACKOFF, cell_timeout=None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.spec = spec
+        self.journal = journal
+        self.jobs = jobs
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.cell_timeout = cell_timeout
+        self._ctx = multiprocessing.get_context("fork")
+        self._fn = resolve_cell_fn(spec.cell)
+
+    def run(self, state, max_cells=None):
+        """Drain pending cells; returns a summary dict.
+
+        ``state`` is the replayed :class:`~repro.campaign.journal.JournalState`
+        (fresh campaigns pass an empty one); completed and quarantined
+        cells are skipped, and prior failed attempts count toward the
+        quarantine budget.  ``max_cells`` stops after that many cell
+        completions this session (the deterministic stand-in for an
+        interrupted run, used by tests and the CI smoke job).
+        """
+        pending = state.pending_cells(self.spec)
+        failures = dict(state.failures)
+        results = dict(state.results)
+        quarantined = set(state.quarantined)
+        queue = list(pending)
+        queue.reverse()  # pop() from the end == spec order
+        retries = []     # heap of (ready_at, seq, cell)
+        running = {}     # cell_id -> _Attempt
+        session_completed = 0
+        interrupted = False
+        seq = 0
+
+        def launch_allowed():
+            if max_cells is None:
+                return True
+            return session_completed + len(running) < max_cells
+
+        try:
+            while queue or retries or running:
+                now = time.monotonic()
+                while retries and retries[0][0] <= now:
+                    _, _, cell = heapq.heappop(retries)
+                    queue.append(cell)
+                while (queue and len(running) < self.jobs
+                       and launch_allowed()):
+                    cell = queue.pop()
+                    attempt = failures.get(cell.cell_id, 0) + 1
+                    running[cell.cell_id] = self._launch(cell, attempt)
+                if not running:
+                    if max_cells is not None \
+                            and session_completed >= max_cells \
+                            and (queue or retries):
+                        interrupted = True
+                        break
+                    if queue:
+                        continue
+                    if retries:
+                        time.sleep(
+                            min(_POLL_SECONDS,
+                                max(0.0, retries[0][0] - now))
+                        )
+                        continue
+                    break
+                for task in self._reap(running):
+                    outcome = self._settle(task)
+                    if outcome["ok"]:
+                        results[task.cell.cell_id] = outcome["result"]
+                        session_completed += 1
+                        continue
+                    failures[task.cell.cell_id] = task.attempt
+                    if task.attempt >= self.max_attempts:
+                        self._quarantine(task)
+                        quarantined.add(task.cell.cell_id)
+                    else:
+                        get_metrics().counter(
+                            "campaign_cells_retried_total"
+                        ).inc()
+                        delay = self.backoff * (2 ** (task.attempt - 1))
+                        seq += 1
+                        heapq.heappush(
+                            retries,
+                            (time.monotonic() + delay, seq, task.cell),
+                        )
+        except BaseException:
+            interrupted = True
+            raise
+        finally:
+            self._terminate(running.values())
+        return {
+            "results": results,
+            "failures": failures,
+            "quarantined": quarantined,
+            "session_completed": session_completed,
+            "pending": len(queue) + len(retries),
+            "interrupted": interrupted or bool(queue or retries),
+        }
+
+    # -- internals ----------------------------------------------------
+
+    def _launch(self, cell, attempt):
+        self.journal.cell_start(cell.cell_id, attempt)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(events.CampaignCellStart(
+                campaign=self.spec.name, cell_id=cell.cell_id,
+                label=cell.label(), attempt=attempt,
+            ))
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_cell_worker,
+            args=(child_conn, self._fn, cell.params),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Attempt(cell, attempt, process, parent_conn)
+
+    def _reap(self, running):
+        """Attempts that finished, crashed, or timed out this tick."""
+        done = []
+        conns = {task.conn: task for task in running.values()}
+        for conn in connection_wait(list(conns), timeout=_POLL_SECONDS):
+            done.append(conns[conn])
+        now = time.monotonic()
+        for task in running.values():
+            if task in done:
+                continue
+            timed_out = (self.cell_timeout is not None
+                         and now - task.started > self.cell_timeout)
+            if timed_out or not task.process.is_alive():
+                done.append(task)
+        for task in done:
+            del running[task.cell.cell_id]
+        return done
+
+    def _settle(self, task):
+        """Classify one finished attempt; journal and count it."""
+        elapsed = time.monotonic() - task.started
+        payload = None
+        timed_out = (self.cell_timeout is not None
+                     and elapsed > self.cell_timeout
+                     and task.process.is_alive())
+        if not timed_out and task.conn.poll():
+            try:
+                payload = task.conn.recv()
+            except (EOFError, OSError):
+                payload = None
+        if task.process.is_alive():
+            task.process.terminate()
+        task.process.join()
+        task.conn.close()
+
+        cell_id = task.cell.cell_id
+        if payload is not None and payload.get("ok"):
+            get_metrics().merge_snapshot(payload["metrics"])
+            get_phases().merge_snapshot(payload["phases"])
+            self.journal.cell_finish(
+                cell_id, task.attempt, elapsed, payload["result"]
+            )
+            get_metrics().counter("campaign_cells_completed_total").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(events.CampaignCellEnd(
+                    campaign=self.spec.name, cell_id=cell_id,
+                    attempt=task.attempt, seconds=elapsed,
+                ))
+            return {"ok": True, "result": payload["result"]}
+
+        if timed_out:
+            kind, error = "timeout", (
+                f"cell exceeded {self.cell_timeout}s budget"
+            )
+        elif payload is not None:
+            kind, error = "exception", payload.get("error", "unknown")
+        else:
+            kind, error = "crash", (
+                f"worker died with exit code {task.process.exitcode}"
+            )
+        self.journal.cell_fail(cell_id, task.attempt, kind, error, elapsed)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(events.CampaignCellFail(
+                campaign=self.spec.name, cell_id=cell_id,
+                attempt=task.attempt, kind=kind, error=error,
+            ))
+        return {"ok": False, "kind": kind, "error": error}
+
+    def _quarantine(self, task):
+        self.journal.cell_quarantine(task.cell.cell_id, task.attempt)
+        get_metrics().counter("campaign_cells_quarantined_total").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(events.CampaignCellQuarantined(
+                campaign=self.spec.name, cell_id=task.cell.cell_id,
+                attempts=task.attempt,
+            ))
+
+    @staticmethod
+    def _terminate(tasks):
+        tasks = list(tasks)
+        for task in tasks:
+            if task.process.is_alive():
+                task.process.terminate()
+        for task in tasks:
+            task.process.join(timeout=2.0)
+            if task.process.is_alive():
+                task.process.kill()
+                task.process.join()
+            task.conn.close()

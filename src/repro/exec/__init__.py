@@ -12,6 +12,7 @@ on disk, content-addressed, across processes and invocations.  See
 from repro.exec import artifact_cache
 from repro.exec.engine import (
     Job,
+    JobError,
     default_jobs,
     execute,
     execute_starmap,
@@ -20,6 +21,7 @@ from repro.exec.engine import (
 
 __all__ = [
     "Job",
+    "JobError",
     "artifact_cache",
     "default_jobs",
     "execute",

@@ -37,6 +37,19 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.timers import PhaseProfile
 
 
+class JobError(RuntimeError):
+    """A planned job failed in a worker.
+
+    Carries the failing :attr:`Job.label` so a sweep that dies at cell
+    400/500 says *which* cell, not just what the worker raised; the
+    original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, label, cause):
+        super().__init__(f"job {label!r} failed: {cause}")
+        self.label = label
+
+
 class Job:
     """One unit of work: a picklable callable plus its arguments."""
 
@@ -89,7 +102,13 @@ def execute(jobs_list, jobs=None):
     workers is used and worker telemetry snapshots are merged into the
     active registry/profile, also in plan order.
 
-    A failing job raises its exception in the parent either way.
+    A failing job raises in the parent either way; on the pool path it
+    is wrapped in :class:`JobError` with the failing job's label, the
+    outstanding futures are cancelled so the pool drains instead of
+    running the rest of the plan to completion, and *no* worker
+    telemetry is merged — snapshots are folded into the parent's
+    registry/profile only once every job has succeeded, so ``--metrics``
+    output never reports a half-gathered plan.
     """
     planned = list(jobs_list)
     workers = resolve_jobs(jobs)
@@ -98,17 +117,27 @@ def execute(jobs_list, jobs=None):
 
     metrics = get_metrics()
     phases = get_phases()
-    results = []
+    payloads = []
     max_workers = min(workers, len(planned))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = [
             pool.submit(_run_job, job.fn, job.args) for job in planned
         ]
-        for future in futures:
-            result, metrics_snapshot, phases_snapshot = future.result()
-            metrics.merge_snapshot(metrics_snapshot)
-            phases.merge_snapshot(phases_snapshot)
-            results.append(result)
+        try:
+            for job, future in zip(planned, futures):
+                try:
+                    payloads.append(future.result())
+                except Exception as exc:
+                    raise JobError(job.label, exc) from exc
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    results = []
+    for result, metrics_snapshot, phases_snapshot in payloads:
+        metrics.merge_snapshot(metrics_snapshot)
+        phases.merge_snapshot(phases_snapshot)
+        results.append(result)
     return results
 
 

@@ -177,6 +177,54 @@ def run_easy_branch_filter(scale=1.0, benchmarks=None,
     return {"means": means, "kind": "easy_branch_filter", "scale": scale}
 
 
+def campaign_spec_confidence_threshold(scale=1.0, benchmarks=None,
+                                       values=(6, 10, 14, 15)):
+    """The JRS-threshold ablation as a durable campaign."""
+    from repro.campaign import Axis, CampaignSpec
+
+    return CampaignSpec(
+        name="confidence-threshold",
+        benchmarks=tuple(benchmarks or DEFAULT_BENCHMARKS),
+        scale=scale,
+        selection="all-best-heur",
+        axes=(Axis("proc.confidence_threshold", tuple(values)),),
+    )
+
+
+def campaign_spec_predictor_sensitivity(scale=1.0, benchmarks=None,
+                                        kinds=("bimodal", "gshare",
+                                               "tournament",
+                                               "perceptron")):
+    """The predictor-sensitivity ablation as a durable campaign."""
+    from repro.campaign import Axis, CampaignSpec
+
+    return CampaignSpec(
+        name="predictor-sensitivity",
+        benchmarks=tuple(benchmarks or DEFAULT_BENCHMARKS),
+        scale=scale,
+        selection="all-best-heur",
+        axes=(Axis("proc.predictor_kind", tuple(kinds)),),
+    )
+
+
+def campaign_spec_max_cfm(scale=1.0, benchmarks=None, values=(1, 2, 3)):
+    """The MAX_CFM ablation as a durable campaign.
+
+    Note the monolithic :func:`run_max_cfm` also flips on the short/
+    return/loop passes; the campaign preset ``all-best-heur`` does the
+    same, so the two agree cell-for-cell.
+    """
+    from repro.campaign import Axis, CampaignSpec
+
+    return CampaignSpec(
+        name="max-cfm",
+        benchmarks=tuple(benchmarks or DEFAULT_BENCHMARKS),
+        scale=scale,
+        selection="all-best-heur",
+        axes=(Axis("max_cfm", tuple(values)),),
+    )
+
+
 def format_result(result):
     rows = [(label, percent(value))
             for label, value in result["means"].items()]

@@ -47,6 +47,29 @@ def _bench_cell(name, scale, max_instr_values, min_merge_prob_values):
     return cell
 
 
+def campaign_spec(scale=1.0, benchmarks=None,
+                  max_instr_values=MAX_INSTR_VALUES,
+                  min_merge_prob_values=MIN_MERGE_PROB_VALUES):
+    """This figure as a durable campaign (``campaign run fig7``).
+
+    The campaign's two-axis sensitivity view renders the same grid as
+    :func:`run`: identical per-cell speedups, identical benchmark-order
+    means — but journaled, resumable, and fault-tolerant.
+    """
+    from repro.campaign import Axis, CampaignSpec
+
+    return CampaignSpec(
+        name="fig7",
+        benchmarks=tuple(benchmarks or DEFAULT_BENCHMARKS),
+        scale=scale,
+        selection="exact-freq",
+        axes=(
+            Axis("max_instr", tuple(max_instr_values)),
+            Axis("min_merge_prob", tuple(min_merge_prob_values)),
+        ),
+    )
+
+
 def run(scale=1.0, benchmarks=None, max_instr_values=MAX_INSTR_VALUES,
         min_merge_prob_values=MIN_MERGE_PROB_VALUES, jobs=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS

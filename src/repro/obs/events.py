@@ -168,6 +168,57 @@ class SimRunEnd:
     dpred_episodes_merged: int
 
 
+# -- campaigns ---------------------------------------------------------------
+
+
+@event
+@dataclass(frozen=True)
+class CampaignCellStart:
+    """The campaign scheduler handed one cell attempt to a worker."""
+
+    type: ClassVar[str] = "campaign.cell.start"
+    campaign: str
+    cell_id: str
+    label: str
+    attempt: int
+
+
+@event
+@dataclass(frozen=True)
+class CampaignCellEnd:
+    """A campaign cell attempt completed and was journaled."""
+
+    type: ClassVar[str] = "campaign.cell.end"
+    campaign: str
+    cell_id: str
+    attempt: int
+    seconds: float
+
+
+@event
+@dataclass(frozen=True)
+class CampaignCellFail:
+    """A campaign cell attempt raised, crashed, or timed out."""
+
+    type: ClassVar[str] = "campaign.cell.fail"
+    campaign: str
+    cell_id: str
+    attempt: int
+    kind: str                 # "exception" | "crash" | "timeout"
+    error: str
+
+
+@event
+@dataclass(frozen=True)
+class CampaignCellQuarantined:
+    """A cell exhausted its attempts and is now an explicit gap."""
+
+    type: ClassVar[str] = "campaign.cell.quarantined"
+    campaign: str
+    cell_id: str
+    attempts: int
+
+
 @event
 @dataclass(frozen=True)
 class PhaseEnd:

@@ -1,0 +1,453 @@
+"""The campaign subsystem: spec/cell identity, journal replay, the
+fault-tolerant scheduler (exceptions, hard crashes, timeouts, retry,
+quarantine), crash/resume equivalence, the CLI, and Figure 7 expressed
+as a campaign."""
+
+import json
+import os
+
+import pytest
+
+from repro import __main__ as repro_main
+from repro.campaign import (
+    Axis,
+    CampaignSpec,
+    Journal,
+    Scheduler,
+    aggregate_means,
+    render_report,
+    render_status,
+    replay,
+)
+from repro.campaign.spec import content_hash, resolve_cell_fn
+from repro.obs import MetricsRegistry, PhaseProfile, telemetry
+
+SCALE = 0.1
+BENCH = ["gzip", "twolf"]
+
+#: Attempt-marker directory for cells that fail a set number of times
+#: (inherited by forked workers through the environment).
+_MARKER_ENV = "REPRO_CAMPAIGN_TEST_DIR"
+
+
+# -- cell functions (must be module-level: workers import by path) ----
+
+
+def fake_cell(params):
+    """Deterministic synthetic result derived from the parameters."""
+    from repro.obs.context import get_metrics
+
+    get_metrics().counter("fake_cells_total").inc()
+    value = int(content_hash(params), 16) % 1000 / 1000.0
+    return {
+        "speedup": value,
+        "baseline": {"ipc": 1.0},
+        "stats": {"ipc": 1.0 + value},
+    }
+
+
+def crashy_cell(params):
+    """Raises for one benchmark, succeeds for the rest."""
+    if params["benchmark"] == "twolf":
+        raise RuntimeError("synthetic cell failure")
+    return fake_cell(params)
+
+
+def hard_crash_cell(params):
+    """Kills the worker outright (no exception, no payload)."""
+    if params["benchmark"] == "twolf":
+        os._exit(9)
+    return fake_cell(params)
+
+
+def sleepy_cell(params):
+    """Exceeds any reasonable per-cell budget for one benchmark."""
+    import time
+
+    if params["benchmark"] == "twolf":
+        time.sleep(60)
+    return fake_cell(params)
+
+
+def flaky_cell(params):
+    """Fails the first attempt per cell, then succeeds (tests retry)."""
+    marker_dir = os.environ[_MARKER_ENV]
+    marker = os.path.join(marker_dir, content_hash(params))
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("first attempt always fails")
+    return fake_cell(params)
+
+
+def _spec(cell="tests.test_campaign:fake_cell", name="probe",
+          benchmarks=("gzip", "twolf"), axes=None):
+    return CampaignSpec(
+        name=name,
+        benchmarks=benchmarks,
+        scale=SCALE,
+        selection="exact-freq",
+        axes=axes if axes is not None
+        else (Axis("max_instr", (10, 50)),),
+        cell=cell,
+    )
+
+
+def _run(spec, tmp_path, jobs=1, state=None, max_cells=None, **kwargs):
+    journal_path = tmp_path / "journal.jsonl"
+    if state is None:
+        state = replay(journal_path)
+    with Journal(journal_path) as journal:
+        journal.campaign_start(spec.name, spec.spec_hash, jobs)
+        scheduler = Scheduler(spec, journal, jobs=jobs,
+                              backoff=kwargs.pop("backoff", 0.0),
+                              **kwargs)
+        return scheduler.run(state, max_cells=max_cells)
+
+
+class TestSpec:
+    def test_cell_ids_are_stable_content_hashes(self):
+        first = [c.cell_id for c in _spec().cells()]
+        second = [c.cell_id for c in _spec().cells()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_cell_ids_track_parameters(self):
+        base = {c.cell_id for c in _spec().cells()}
+        rescaled = CampaignSpec.from_dict(
+            {**_spec().as_dict(), "scale": 0.2}
+        )
+        assert base.isdisjoint(c.cell_id for c in rescaled.cells())
+
+    def test_cells_are_benchmark_major(self):
+        cells = _spec().cells()
+        assert [c.benchmark for c in cells] \
+            == ["gzip", "gzip", "twolf", "twolf"]
+        assert [dict(c.point)["max_instr"] for c in cells] \
+            == [10, 50, 10, 50]
+
+    def test_axis_routing(self):
+        spec = _spec(axes=(
+            Axis("max_instr", (10,)),
+            Axis("proc.confidence_threshold", (6, 14)),
+            Axis("selection", ("exact-freq", "all-best-heur")),
+        ))
+        params = spec.cells()[0].params
+        assert params["thresholds"] == {"max_instr": 10}
+        assert params["processor"] == {"confidence_threshold": 6}
+        assert params["selection"] == "exact-freq"
+
+    @pytest.mark.parametrize("axis", [
+        Axis("not_a_threshold", (1,)),
+        Axis("proc.not_a_field", (1,)),
+        Axis("selection", ("not-a-preset",)),
+    ])
+    def test_bad_axes_rejected(self, axis):
+        with pytest.raises(ValueError):
+            _spec(axes=(axis,))
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            _spec(axes=(Axis("max_instr", (1,)),
+                        Axis("max_instr", (2,))))
+
+    def test_json_round_trip(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "spec.json"
+        spec.dump(path)
+        loaded = CampaignSpec.load(path)
+        assert loaded == spec
+        assert loaded.spec_hash == spec.spec_hash
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign spec"):
+            CampaignSpec.from_dict({**_spec().as_dict(), "bogus": 1})
+
+    def test_resolve_cell_fn(self):
+        assert resolve_cell_fn("tests.test_campaign:fake_cell") \
+            is fake_cell
+        assert resolve_cell_fn("tests.test_campaign.fake_cell") \
+            is fake_cell
+        with pytest.raises(ValueError):
+            resolve_cell_fn("tests.test_campaign:no_such_cell")
+
+
+class TestJournal:
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = replay(tmp_path / "journal.jsonl")
+        assert state.results == {} and state.records == 0
+
+    def test_replay_folds_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.campaign_start("probe", "abc", 1)
+            journal.cell_start("c1", 1)
+            journal.cell_finish("c1", 1, 0.5, {"speedup": 0.1})
+            journal.cell_start("c2", 1)
+            journal.cell_fail("c2", 1, "exception", "boom", 0.1)
+            journal.cell_start("c2", 2)
+            journal.cell_fail("c2", 2, "timeout", "late", 0.2)
+            journal.cell_quarantine("c2", 2)
+            journal.cell_start("c3", 1)
+        state = replay(path)
+        assert state.spec_hash == "abc"
+        assert state.results == {"c1": {"speedup": 0.1}}
+        assert state.failures == {"c2": 2}
+        assert state.last_failure["c2"]["kind"] == "timeout"
+        assert state.quarantined == {"c2"}
+        assert state.in_flight == {"c3"}
+        assert state.sessions == 1
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.cell_start("c1", 1)
+            journal.cell_finish("c1", 1, 0.5, {"speedup": 0.1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"cell.finish","cell_id":"c2"')
+        state = replay(path)
+        assert state.results == {"c1": {"speedup": 0.1}}
+        assert state.corrupt_lines == 1
+
+    def test_mixed_spec_hashes_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.campaign_start("probe", "aaa", 1)
+            journal.campaign_start("probe", "bbb", 1)
+        with pytest.raises(ValueError, match="mixes spec hashes"):
+            replay(path)
+
+
+class TestScheduler:
+    def test_happy_path_completes_every_cell(self, tmp_path):
+        registry = MetricsRegistry()
+        with telemetry(metrics=registry, phases=PhaseProfile()):
+            out = _run(_spec(), tmp_path, jobs=2)
+        assert not out["interrupted"]
+        assert len(out["results"]) == 4
+        assert out["quarantined"] == set()
+        assert registry.counter(
+            "campaign_cells_completed_total").value == 4
+        # Worker-side telemetry snapshots folded into the parent.
+        assert registry.counter("fake_cells_total").value == 4
+
+    def test_exception_cells_retry_then_quarantine(self, tmp_path):
+        spec = _spec(cell="tests.test_campaign:crashy_cell")
+        registry = MetricsRegistry()
+        with telemetry(metrics=registry, phases=PhaseProfile()):
+            out = _run(spec, tmp_path, max_attempts=2)
+        assert len(out["results"]) == 2          # gzip cells
+        assert len(out["quarantined"]) == 2      # twolf cells
+        assert registry.counter(
+            "campaign_cells_retried_total").value == 2
+        assert registry.counter(
+            "campaign_cells_quarantined_total").value == 2
+        state = replay(tmp_path / "journal.jsonl")
+        assert state.quarantined == out["quarantined"]
+        for cell_id in out["quarantined"]:
+            assert state.failures[cell_id] == 2
+            assert state.last_failure[cell_id]["kind"] == "exception"
+            assert "synthetic cell failure" \
+                in state.last_failure[cell_id]["error"]
+
+    def test_flaky_cells_succeed_on_retry(self, tmp_path, monkeypatch):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        monkeypatch.setenv(_MARKER_ENV, str(markers))
+        spec = _spec(cell="tests.test_campaign:flaky_cell")
+        out = _run(spec, tmp_path, max_attempts=3)
+        assert len(out["results"]) == 4
+        assert out["quarantined"] == set()
+        state = replay(tmp_path / "journal.jsonl")
+        assert all(count == 1 for count in state.failures.values())
+
+    def test_worker_hard_crash_is_isolated(self, tmp_path):
+        spec = _spec(cell="tests.test_campaign:hard_crash_cell")
+        out = _run(spec, tmp_path, jobs=2, max_attempts=1)
+        assert len(out["results"]) == 2
+        assert len(out["quarantined"]) == 2
+        state = replay(tmp_path / "journal.jsonl")
+        for cell_id in out["quarantined"]:
+            assert state.last_failure[cell_id]["kind"] == "crash"
+            assert "exit code" in state.last_failure[cell_id]["error"]
+
+    def test_timeout_terminates_the_worker(self, tmp_path):
+        spec = _spec(cell="tests.test_campaign:sleepy_cell")
+        out = _run(spec, tmp_path, jobs=2, max_attempts=1,
+                   cell_timeout=0.5)
+        assert len(out["results"]) == 2
+        assert len(out["quarantined"]) == 2
+        state = replay(tmp_path / "journal.jsonl")
+        for cell_id in out["quarantined"]:
+            assert state.last_failure[cell_id]["kind"] == "timeout"
+
+    def test_interrupted_run_resumes_identically(self, tmp_path):
+        spec = _spec()
+        first = _run(spec, tmp_path, max_cells=1)
+        assert first["interrupted"]
+        assert first["session_completed"] == 1
+        resumed = _run(spec, tmp_path)
+        assert not resumed["interrupted"]
+
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        clean = _run(spec, clean_dir)
+
+        assert resumed["results"] == clean["results"]
+        assert render_report(spec, resumed["results"]) \
+            == render_report(spec, clean["results"])
+        # The resumed journal shows two sessions and no re-runs.
+        state = replay(tmp_path / "journal.jsonl")
+        assert state.sessions == 2
+        assert state.records == 2 + 2 * len(spec.cells())
+
+    def test_quarantined_cells_render_as_gaps(self, tmp_path):
+        spec = _spec(cell="tests.test_campaign:crashy_cell")
+        out = _run(spec, tmp_path, max_attempts=1)
+        report = render_report(spec, out["results"],
+                               quarantined=out["quarantined"])
+        assert "quarantined" in report
+        assert "gap" in report
+        means, gaps = aggregate_means(spec, out["results"])
+        assert means == {}          # every point misses twolf
+        assert len(gaps) == 2
+
+    def test_status_names_failing_cells(self, tmp_path):
+        spec = _spec(cell="tests.test_campaign:crashy_cell")
+        _run(spec, tmp_path, max_attempts=1)
+        state = replay(tmp_path / "journal.jsonl")
+        status = render_status(spec, state)
+        assert "2/4 cells complete" in status
+        assert "2 quarantined" in status
+        assert "synthetic cell failure" in status
+
+
+class TestCampaignCLI:
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "probe.json"
+        path.write_text(json.dumps(_spec().as_dict()) + "\n")
+        return str(path)
+
+    def test_run_status_report_round_trip(self, tmp_path, capsys):
+        results = str(tmp_path / "campaigns")
+        spec_file = self._spec_file(tmp_path)
+        assert repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", results]
+        ) == 0
+        assert repro_main.main(
+            ["campaign", "status", "probe", "--results-dir", results]
+        ) == 0
+        assert "4/4 cells complete" in capsys.readouterr().out
+        assert repro_main.main(
+            ["campaign", "report", "probe", "--results-dir", results]
+        ) == 0
+        assert "Per-cell results" in capsys.readouterr().out
+
+    def test_rerun_requires_resume(self, tmp_path):
+        results = str(tmp_path / "campaigns")
+        spec_file = self._spec_file(tmp_path)
+        repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", results]
+        )
+        with pytest.raises(SystemExit):
+            repro_main.main(
+                ["campaign", "run", spec_file, "--results-dir", results]
+            )
+        # --fresh discards and re-runs.
+        assert repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", results,
+             "--fresh"]
+        ) == 0
+
+    def test_interrupt_resume_reports_identically(self, tmp_path,
+                                                  capsys):
+        interrupted = str(tmp_path / "interrupted")
+        clean = str(tmp_path / "clean")
+        spec_file = self._spec_file(tmp_path)
+        assert repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", interrupted,
+             "--max-cells", "2", "--jobs", "2"]
+        ) == 3
+        assert repro_main.main(
+            ["campaign", "resume", "probe", "--results-dir", interrupted]
+        ) == 0
+        assert repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", clean]
+        ) == 0
+        capsys.readouterr()
+        repro_main.main(
+            ["campaign", "report", "probe", "--results-dir", interrupted]
+        )
+        resumed_report = capsys.readouterr().out
+        repro_main.main(
+            ["campaign", "report", "probe", "--results-dir", clean]
+        )
+        clean_report = capsys.readouterr().out
+        assert resumed_report == clean_report
+
+    def test_resume_refuses_spec_mismatch(self, tmp_path):
+        results = str(tmp_path / "campaigns")
+        spec_file = self._spec_file(tmp_path)
+        repro_main.main(
+            ["campaign", "run", spec_file, "--results-dir", results]
+        )
+        spec_path = os.path.join(results, "probe", "spec.json")
+        mutated = json.loads(open(spec_path).read())
+        mutated["scale"] = 0.5
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(mutated, handle)
+        with pytest.raises(SystemExit):
+            repro_main.main(
+                ["campaign", "resume", "probe", "--results-dir", results]
+            )
+
+    def test_unknown_spec_is_an_error(self, tmp_path, capsys):
+        assert repro_main.main(
+            ["campaign", "run", "no-such-spec",
+             "--results-dir", str(tmp_path)]
+        ) == 1
+        assert "neither a builtin spec" in capsys.readouterr().err
+
+
+class TestFig7AsCampaign:
+    """Fig. 7's sweep expressed as a campaign reproduces its numbers."""
+
+    MI = (10, 50)
+    MM = (0.05, 0.60)
+
+    def test_grid_matches_monolithic_driver_exactly(self, tmp_path):
+        from repro.experiments import fig7, runner
+
+        spec = fig7.campaign_spec(
+            scale=SCALE, benchmarks=BENCH,
+            max_instr_values=self.MI, min_merge_prob_values=self.MM,
+        )
+        out = _run(spec, tmp_path, jobs=2)
+        assert len(out["results"]) == len(spec.cells())
+        means, gaps = aggregate_means(spec, out["results"])
+        assert not gaps
+
+        runner.clear_cache()
+        reference = fig7.run(
+            scale=SCALE, benchmarks=BENCH, max_instr_values=self.MI,
+            min_merge_prob_values=self.MM, jobs=1,
+        )
+        runner.clear_cache()
+        campaign_grid = {
+            (mi, mm): means[(("max_instr", mi), ("min_merge_prob", mm))]
+            for mi in self.MI for mm in self.MM
+        }
+        assert campaign_grid == reference["grid"]
+
+    def test_report_renders_the_sensitivity_grid(self, tmp_path):
+        from repro.experiments import fig7
+
+        spec = fig7.campaign_spec(
+            scale=SCALE, benchmarks=BENCH,
+            max_instr_values=self.MI, min_merge_prob_values=self.MM,
+        )
+        out = _run(spec, tmp_path, jobs=2)
+        report = render_report(spec, out["results"])
+        assert "Sensitivity: mean speedup vs max_instr" \
+            " × min_merge_prob" in report
+        assert "Best point:" in report

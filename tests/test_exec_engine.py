@@ -3,8 +3,8 @@ merging, and bit-identical serial-vs-parallel experiment outputs."""
 
 import pytest
 
-from repro.exec import Job, default_jobs, execute, execute_starmap, \
-    resolve_jobs
+from repro.exec import Job, JobError, default_jobs, execute, \
+    execute_starmap, resolve_jobs
 from repro.experiments import (
     ablations,
     fig5,
@@ -73,6 +73,16 @@ class TestEngineBasics:
         with pytest.raises(RuntimeError, match="job 3 failed"):
             execute([Job(_square, 1), Job(_boom, 3)], jobs=1)
 
+    def test_pool_failure_carries_the_job_label(self):
+        with pytest.raises(JobError) as excinfo:
+            execute(
+                [Job(_square, 1), Job(_boom, 3, label="cell:gzip")],
+                jobs=2,
+            )
+        assert excinfo.value.label == "cell:gzip"
+        assert "cell:gzip" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
     def test_job_label(self):
         assert Job(_square, 1).label == "_square"
         assert Job(_square, 1, label="cell").label == "cell"
@@ -96,6 +106,21 @@ class TestTelemetryMerging:
         with telemetry(metrics=registry):
             execute([Job(_count_one, i) for i in range(5)], jobs=3)
         assert registry.gauge("probe_last_tag").value == 4
+
+    def test_failed_plan_merges_no_worker_telemetry(self):
+        # All-or-nothing: a mid-plan failure must not leave the parent
+        # registry with a half-gathered snapshot set.
+        registry = MetricsRegistry()
+        phases = PhaseProfile()
+        with telemetry(metrics=registry, phases=phases):
+            with pytest.raises(JobError):
+                execute(
+                    [Job(_count_one, 0), Job(_count_one, 1),
+                     Job(_boom, 2), Job(_count_one, 3)],
+                    jobs=2,
+                )
+        assert registry.get("probe_cells_total") is None
+        assert "probe" not in phases
 
     def test_parallel_metrics_match_serial(self):
         from repro.exec import artifact_cache
