@@ -1,0 +1,128 @@
+"""Analysis-reuse benchmarks for the compiler pipeline (not figures).
+
+Times a 10-point MIN_MERGE_PROB threshold sweep — Figure 7's hot axis
+— through the pass-manager pipeline twice: *cold*, with a fresh
+:class:`AnalysisManager` per point (every point rebuilds CFGs,
+dominators, loops, and path sets, which is what the pre-pipeline
+selector did), and *cached*, with one manager shared across the sweep
+(one structural build; path sets key on the enumeration bounds, which
+this axis does not touch, so later points are pure cache hits).  The
+measured times land in ``benchmarks/results/BENCH_pipeline.json`` and
+the cached sweep is asserted to be at least twice as fast.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.compiler import AnalysisManager, run_selection_pipeline
+from repro.core import SelectionConfig
+from repro.core.thresholds import SelectionThresholds
+from repro.profiling import Profiler
+from repro.workloads import load_benchmark
+
+from conftest import bench_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The swept axis: 10 MIN_MERGE_PROB points (Fig. 7 uses a subset).
+SWEEP = tuple(round(0.01 + 0.06 * i, 2) for i in range(10))
+
+BENCHMARK = "twolf"
+
+#: Minimum cold/cached ratio the analysis cache must deliver.
+MIN_SPEEDUP = 2.0
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    workload = load_benchmark(BENCHMARK, scale=bench_scale())
+    profile = Profiler().profile(
+        workload.program,
+        memory=workload.memory,
+        max_instructions=workload.max_instructions,
+    )
+    return workload.program, profile
+
+
+@pytest.fixture(scope="module", autouse=True)
+def pipeline_report():
+    yield
+    if not _RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "benchmark": BENCHMARK,
+        "scale": bench_scale(),
+        "sweep_points": len(SWEEP),
+        **{name: value for name, value in sorted(_RESULTS.items())},
+    }
+    path = RESULTS_DIR / "BENCH_pipeline.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] pipeline timings written to {path}")
+
+
+def _sweep(program, profile, manager_per_point):
+    shared = None if manager_per_point else AnalysisManager()
+    annotations = []
+    for value in SWEEP:
+        config = SelectionConfig.all_best_heur(
+            thresholds=SelectionThresholds(min_merge_prob=value)
+        )
+        state = run_selection_pipeline(
+            program, profile, config,
+            manager=AnalysisManager() if manager_per_point else shared,
+        )
+        annotations.append(state.annotation)
+    return annotations
+
+
+def test_cold_sweep(benchmark, artifacts):
+    program, profile = artifacts
+
+    def run():
+        return _sweep(program, profile, manager_per_point=True)
+
+    annotations = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(annotations) == len(SWEEP)
+    seconds = benchmark.stats.stats.min
+    _RESULTS["cold_sweep_seconds"] = seconds
+    _RESULTS["cold_selections_per_sec"] = len(SWEEP) / seconds
+
+
+def test_cached_sweep_at_least_2x_faster(benchmark, artifacts):
+    program, profile = artifacts
+
+    def run():
+        return _sweep(program, profile, manager_per_point=False)
+
+    annotations = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(annotations) == len(SWEEP)
+    seconds = benchmark.stats.stats.min
+    _RESULTS["cached_sweep_seconds"] = seconds
+    _RESULTS["cached_selections_per_sec"] = len(SWEEP) / seconds
+
+    cold = _RESULTS["cold_sweep_seconds"]
+    speedup = cold / seconds
+    _RESULTS["analysis_cache_speedup"] = speedup
+    assert speedup >= MIN_SPEEDUP, (
+        f"analysis cache delivered only {speedup:.2f}x over cold "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_cached_sweep_matches_cold_byte_for_byte(artifacts):
+    """Reuse must never change results: same annotations either way."""
+    from repro.core import annotation_io
+
+    program, profile = artifacts
+    cold = _sweep(program, profile, manager_per_point=True)
+    cached = _sweep(program, profile, manager_per_point=False)
+    for a, b in zip(cold, cached):
+        assert annotation_io.dumps(a) == annotation_io.dumps(b)

@@ -25,6 +25,12 @@ Campaigns (see ``docs/campaigns.md``)::
     python -m repro campaign status fig7
     python -m repro campaign resume fig7     # after a crash or ^C
     python -m repro campaign report fig7
+
+Compiler pipeline (see ``docs/compiler.md``)::
+
+    python -m repro compile --benchmark twolf --config all-best-heur
+    python -m repro compile --benchmark twolf \
+        --pipeline "exact,freq,short,ret,loop,cost:edge" -o marks.json
 """
 
 import argparse
@@ -78,6 +84,10 @@ def main(argv=None):
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "compile":
+        from repro.compiler.cli import main as compile_main
+
+        return compile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

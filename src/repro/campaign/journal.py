@@ -70,12 +70,18 @@ class Journal:
             "attempt": attempt, "ts": time.time(),
         })
 
-    def cell_finish(self, cell_id, attempt, seconds, result):
-        return self.append({
+    def cell_finish(self, cell_id, attempt, seconds, result, cache=None):
+        record = {
             "type": "cell.finish", "cell_id": cell_id,
             "attempt": attempt, "seconds": seconds,
             "result": result, "ts": time.time(),
-        })
+        }
+        if cache is not None:
+            # Worker-side cache counters (analysis hits/misses) — an
+            # operational annotation, surfaced by ``status`` only; the
+            # deterministic ``report`` never reads it.
+            record["cache"] = cache
+        return self.append(record)
 
     def cell_fail(self, cell_id, attempt, kind, error, seconds):
         return self.append({
@@ -102,6 +108,9 @@ class JournalState:
     failures: dict = field(default_factory=dict)
     #: cell_id -> last failure record (kind/error), for status output.
     last_failure: dict = field(default_factory=dict)
+    #: cell_id -> cache counters of the successful attempt (when the
+    #: journal recorded them; older journals simply have none).
+    cache: dict = field(default_factory=dict)
     quarantined: set = field(default_factory=set)
     #: cell_ids with a start but (yet) no finish/fail — in-flight when
     #: the previous session died; they count as pending on resume.
@@ -168,6 +177,8 @@ def _apply(state, record):
         state.in_flight.discard(cell_id)
         # First success wins; a duplicate (replayed cell) must agree.
         state.results.setdefault(cell_id, record.get("result"))
+        if "cache" in record:
+            state.cache.setdefault(cell_id, record["cache"])
     elif kind == "cell.fail":
         state.in_flight.discard(cell_id)
         state.failures[cell_id] = state.failures.get(cell_id, 0) + 1

@@ -76,6 +76,18 @@ def render_status(spec, state, directory=None):
     ]
     if directory:
         lines.insert(1, f"  directory: {directory}")
+    if state.cache:
+        hits = sum(c.get("analysis_hits", 0) for c in state.cache.values())
+        misses = sum(
+            c.get("analysis_misses", 0) for c in state.cache.values()
+        )
+        lookups = hits + misses
+        if lookups:
+            lines.append(
+                f"  analysis cache: {hits}/{lookups} hits "
+                f"({100.0 * hits / lookups:.0f}%) across "
+                f"{len(state.cache)} journaled cells"
+            )
     failing = [c for c in cells if c.cell_id in state.failures]
     if failing:
         lines.append("  failing cells:")

@@ -44,6 +44,19 @@ DEFAULT_BACKOFF = 0.5
 _POLL_SECONDS = 0.05
 
 
+def _analysis_cache_stats(metrics_snapshot):
+    """Per-cell analysis-cache counters, for the journal's reuse view."""
+
+    def value(name):
+        entry = metrics_snapshot.get(name)
+        return int(entry["value"]) if entry else 0
+
+    return {
+        "analysis_hits": value("analysis_cache_hits_total"),
+        "analysis_misses": value("analysis_cache_misses_total"),
+    }
+
+
 def _cell_worker(conn, fn, params):
     """Run one cell under fresh telemetry; ship outcome over the pipe."""
     from repro.obs.context import telemetry
@@ -100,6 +113,11 @@ class Scheduler:
         self.cell_timeout = cell_timeout
         self._ctx = multiprocessing.get_context("fork")
         self._fn = resolve_cell_fn(spec.cell)
+        #: Optional parent-side warm hook (``fn.prepare``): builds the
+        #: cell's artifacts and shared analysis before forking, so all
+        #: cells of one (benchmark, input set) inherit one
+        #: AnalysisManager entry via copy-on-write.
+        self._prepare = getattr(self._fn, "prepare", None)
 
     def run(self, state, max_cells=None):
         """Drain pending cells; returns a summary dict.
@@ -191,6 +209,14 @@ class Scheduler:
     # -- internals ----------------------------------------------------
 
     def _launch(self, cell, attempt):
+        if self._prepare is not None:
+            try:
+                self._prepare(cell.params)
+            except Exception:
+                # Warming is an optimization; if it fails, the cell
+                # attempt itself will surface (and journal) the error
+                # with the usual retry/quarantine handling.
+                pass
         self.journal.cell_start(cell.cell_id, attempt)
         tracer = get_tracer()
         if tracer.enabled:
@@ -248,7 +274,8 @@ class Scheduler:
             get_metrics().merge_snapshot(payload["metrics"])
             get_phases().merge_snapshot(payload["phases"])
             self.journal.cell_finish(
-                cell_id, task.attempt, elapsed, payload["result"]
+                cell_id, task.attempt, elapsed, payload["result"],
+                cache=_analysis_cache_stats(payload["metrics"]),
             )
             get_metrics().counter("campaign_cells_completed_total").inc()
             tracer = get_tracer()

@@ -28,13 +28,13 @@ scheduler and journal reusable for non-simulation sweeps (and makes
 the crash/timeout paths testable without patching).
 """
 
-import dataclasses
 import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field, fields
 
-from repro.core import SelectionConfig, SelectionThresholds
+from repro.compiler import registry
+from repro.core import SelectionThresholds
 from repro.uarch import ProcessorConfig
 
 #: Dotted path of the default cell function (module:attribute).
@@ -46,8 +46,13 @@ THRESHOLD_FIELDS = frozenset(f.name for f in fields(SelectionThresholds))
 #: Processor field names an axis may target via ``proc.<field>``.
 PROCESSOR_FIELDS = frozenset(f.name for f in fields(ProcessorConfig))
 
-#: Base selection algorithms a spec (or a ``selection`` axis) may name.
+#: The recommended selection presets for sweeps; any name registered
+#: in :mod:`repro.compiler.registry` is accepted.
 SELECTION_PRESETS = ("exact-freq", "all-best-heur", "all-best-cost")
+
+
+def _known_selection(name):
+    return name in registry.names()
 
 
 def canonical_json(obj):
@@ -149,10 +154,10 @@ class CampaignSpec:
                 raise ValueError(f"duplicate axis {axis.name!r}")
             seen.add(axis.name)
             _validate_axis(axis)
-        if self.selection not in SELECTION_PRESETS:
+        if not _known_selection(self.selection):
             raise ValueError(
                 f"unknown selection preset {self.selection!r} "
-                f"(choose from {', '.join(SELECTION_PRESETS)})"
+                f"(choose from {', '.join(registry.names())})"
             )
         return self
 
@@ -238,7 +243,7 @@ class CampaignSpec:
                 processor[name[len("proc."):]] = value
             else:
                 thresholds[name] = value
-        if selection not in SELECTION_PRESETS:
+        if not _known_selection(selection):
             raise ValueError(f"unknown selection preset {selection!r}")
         return {
             "benchmark": benchmark,
@@ -254,7 +259,7 @@ class CampaignSpec:
 def _validate_axis(axis):
     if axis.name == "selection":
         for value in axis.values:
-            if value not in SELECTION_PRESETS:
+            if not _known_selection(value):
                 raise ValueError(
                     f"selection axis value {value!r} is not a preset"
                 )
@@ -274,20 +279,20 @@ def _validate_axis(axis):
 
 
 def build_selection(preset, threshold_overrides=None):
-    """A :class:`SelectionConfig` for a preset plus threshold overrides."""
-    thresholds = SelectionThresholds()
+    """A :class:`SelectionConfig` for a preset plus threshold overrides.
+
+    Resolves through :mod:`repro.compiler.registry` — the same place
+    the experiments and the ``repro compile`` CLI look names up.
+    """
+    thresholds = None
     if threshold_overrides:
-        thresholds = thresholds.with_overrides(**threshold_overrides)
-    if preset == "exact-freq":
-        return SelectionConfig(thresholds=thresholds, name="exact-freq")
-    if preset == "all-best-heur":
-        return SelectionConfig.all_best_heur(thresholds=thresholds)
-    if preset == "all-best-cost":
-        config = SelectionConfig.all_best_cost()
-        if threshold_overrides:
-            config = dataclasses.replace(config, thresholds=thresholds)
-        return config
-    raise ValueError(f"unknown selection preset {preset!r}")
+        thresholds = SelectionThresholds().with_overrides(
+            **threshold_overrides
+        )
+    try:
+        return registry.resolve(preset, thresholds=thresholds)
+    except KeyError:
+        raise ValueError(f"unknown selection preset {preset!r}") from None
 
 
 def build_processor(overrides):
@@ -326,3 +331,31 @@ def run_cell(params):
         "stats": stats.as_dict(),
         "diverge_branches": len(annotation),
     }
+
+
+def prepare_cell(params):
+    """Warm shared caches in the scheduler *parent* before a cell forks.
+
+    Builds the cell's artifacts (trace + profile) and the shared
+    :class:`~repro.compiler.AnalysisManager` entry for its
+    (program, profile) pair, so every forked worker of the same
+    (benchmark, input set) inherits the analysis — dominators, loops,
+    and memoized path sets — via copy-on-write instead of recomputing
+    it per cell.  Repeat calls are cache hits, so the scheduler can
+    invoke this per launch.  Workers journal their
+    ``analysis_cache_hits_total`` so reports can show the reuse.
+    """
+    from repro.compiler import shared_manager
+    from repro.experiments.runner import get_artifacts
+
+    artifacts = get_artifacts(
+        params["benchmark"],
+        input_set=params.get("input_set", "reduced"),
+        scale=params.get("scale", 1.0),
+    )
+    shared_manager().analysis(artifacts.program, artifacts.profile)
+
+
+#: The scheduler looks for this attribute on a cell function and, when
+#: present, calls it in the parent before each launch (see Scheduler).
+run_cell.prepare = prepare_cell

@@ -1,0 +1,108 @@
+"""Content-keyed caching of :class:`ProgramAnalysis` products.
+
+A :class:`ProgramAnalysis` bundles everything selection passes derive
+from a (program, profile) pair: CFGs, post-dominator trees, natural
+loops, and memoized bounded path enumerations.  Building one is the
+dominant cost of a selection run, yet sweeps (fig5/fig7, ``campaign``)
+re-select the same pair under dozens of configs.  The manager caches
+analyses under a *content* key — :attr:`Program.fingerprint` plus
+:meth:`ProfileData.cache_key` — so any number of
+:class:`~repro.core.selector.SelectionConfig` variations share one
+analysis, and the path-set memoization inside it compounds across
+threshold sweeps (path keys exclude MIN_MERGE_PROB, so merge-probability
+sweeps are pure cache hits).
+
+Invalidation contract: the key covers everything the analyses read, so
+a changed program or profile naturally misses.  For in-place profile
+mutation (tests, interactive use) :meth:`AnalysisManager.invalidate`
+drops whole entries and :meth:`AnalysisManager.invalidate_paths` drops
+only the parameter-keyed path sets while keeping the structural
+analyses (dominators, loops), which depend on the program alone.
+"""
+
+from collections import OrderedDict
+
+from repro.core.analysis import ProgramAnalysis
+from repro.obs.context import get_metrics
+
+#: Analyses retained per manager; LRU beyond this.  Sized for a full
+#: benchmark-suite sweep (17 workloads) with headroom.
+DEFAULT_CAPACITY = 32
+
+
+class AnalysisManager:
+    """Bounded LRU of :class:`ProgramAnalysis` keyed by content."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+
+    @staticmethod
+    def key_for(program, profile):
+        """The content key an analysis is cached under."""
+        return (program.fingerprint, profile.cache_key())
+
+    def analysis(self, program, profile):
+        """The cached analysis for this pair, building it on miss."""
+        key = self.key_for(program, profile)
+        entry = self._entries.get(key)
+        metrics = get_metrics()
+        if entry is not None:
+            self._entries.move_to_end(key)
+            metrics.counter("analysis_cache_hits_total").inc()
+            return entry
+        metrics.counter("analysis_cache_misses_total").inc()
+        entry = ProgramAnalysis(program, profile)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            metrics.counter("analysis_cache_evictions_total").inc()
+        return entry
+
+    def invalidate(self, program, profile):
+        """Drop the whole entry for this pair (if cached)."""
+        self._entries.pop(self.key_for(program, profile), None)
+
+    def invalidate_paths(self, program, profile):
+        """Drop only the memoized path sets for this pair.
+
+        Dominators and loops survive — they depend on the program, not
+        the profile or any threshold.
+        """
+        entry = self._entries.get(self.key_for(program, profile))
+        if entry is not None:
+            entry.invalidate_paths()
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+
+#: Process-wide manager the selector shims and campaign cells share.
+_SHARED = None
+
+
+def shared_manager():
+    """The process-wide :class:`AnalysisManager` singleton.
+
+    Forked campaign workers inherit the parent's warmed entries via
+    copy-on-write, which is how the scheduler threads one manager
+    through every cell of the same (benchmark, input set).
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = AnalysisManager()
+    return _SHARED
+
+
+def reset_shared_manager():
+    """Drop the shared manager (test isolation, ``clear_cache``)."""
+    global _SHARED
+    _SHARED = None

@@ -1,0 +1,88 @@
+"""The one place selection presets resolve through.
+
+Experiments (`experiments.configs`), campaign specs
+(`campaign.spec.build_selection`), the ``repro compile`` CLI, and
+tests all look up named configurations here.  Every name follows the
+paper's figure legends; each maps to a factory taking optional
+``thresholds`` so sweeps can rebind bounds without re-declaring the
+pass composition.
+"""
+
+from repro.core.selector import SelectionConfig
+
+#: name -> factory(thresholds=None) -> SelectionConfig.
+_REGISTRY = {}
+
+
+def register(name, factory):
+    """Register a preset; raises on name collision."""
+    if name in _REGISTRY:
+        raise ValueError(f"preset {name!r} already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def resolve(name, thresholds=None):
+    """The :class:`SelectionConfig` for a preset name.
+
+    Raises :class:`KeyError` listing the registered names, mirroring
+    the historical ``named_config`` contract.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown config {name!r}; choose from {names()}"
+        ) from None
+    return factory(thresholds=thresholds)
+
+
+def names():
+    """All registered preset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _preset(name, **fixed):
+    """Register a plain-flags preset under ``name``."""
+
+    def factory(thresholds=None):
+        kwargs = dict(fixed)
+        if thresholds is not None:
+            kwargs["thresholds"] = thresholds
+        return SelectionConfig(name=name, **kwargs)
+
+    register(name, factory)
+    return factory
+
+
+# Figure 5 (left): the cumulative heuristic series.
+_preset("exact", enable_freq=False)
+_preset("exact+freq")
+_preset("exact+freq+short", enable_short=True)
+_preset("exact+freq+short+ret", enable_short=True, enable_return_cfm=True)
+register(
+    "all-best-heur",
+    lambda thresholds=None: SelectionConfig.all_best_heur(thresholds),
+)
+
+# Figure 5 (right): the cost-benefit model variants.
+_preset("cost-long", cost_model="long")
+_preset("cost-edge", cost_model="edge")
+_preset("cost-edge+short", cost_model="edge", enable_short=True)
+_preset("cost-edge+short+ret", cost_model="edge", enable_short=True,
+        enable_return_cfm=True)
+register(
+    "all-best-cost",
+    lambda thresholds=None: SelectionConfig.all_best_cost(
+        thresholds=thresholds
+    ),
+)
+
+# Campaign alias: the fig7 sweeps select with exact+freq only.
+register(
+    "exact-freq",
+    lambda thresholds=None: SelectionConfig(
+        name="exact-freq",
+        **({"thresholds": thresholds} if thresholds is not None else {}),
+    ),
+)

@@ -9,6 +9,7 @@ probabilities, loop-exit classification, and select-µop register sets.
 from repro.cfg import build_cfgs, enumerate_paths, find_natural_loops
 from repro.cfg.dominators import compute_postdominators, immediate_postdominator_pc
 from repro.isa.registers import ZERO_REGISTER
+from repro.obs.context import get_metrics
 
 
 class LoopExitInfo:
@@ -118,7 +119,9 @@ class ProgramAnalysis:
         key = (branch_pc, max_instr, max_cbr, min_exec_prob, stop_pc)
         cached = self._path_cache.get(key)
         if cached is not None:
+            get_metrics().counter("analysis_cache_hits_total").inc()
             return cached
+        get_metrics().counter("analysis_cache_misses_total").inc()
         cfg = self.cfg_of(branch_pc)
         stop_pcs = frozenset() if stop_pc is None else frozenset({stop_pc})
         path_set = enumerate_paths(
@@ -132,6 +135,20 @@ class ProgramAnalysis:
         )
         self._path_cache[key] = path_set
         return path_set
+
+    def invalidate_paths(self):
+        """Drop memoized path sets (dominators/loops stay valid).
+
+        Path sets depend on the edge profile *and* their bound
+        parameters; the structural analyses depend only on the program.
+        The :class:`repro.compiler.AnalysisManager` calls this when a
+        caller asserts the profile changed in place.
+        """
+        self._path_cache.clear()
+
+    def path_cache_size(self):
+        """Number of memoized path sets (cache-correctness tests)."""
+        return len(self._path_cache)
 
     # -- select-µop register sets ----------------------------------------------
 

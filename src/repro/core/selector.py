@@ -8,23 +8,21 @@ evaluates:
 - Figure 5 (right), cost-benefit model: ``cost-long`` / ``cost-edge``
   (± short/ret/loop), "All-best-cost".
 
-:func:`select_diverge_branches` is the public convenience entry point.
+Since the pass-manager refactor the actual work lives in
+:mod:`repro.compiler`: :class:`DivergeSelector` and
+:func:`select_diverge_branches` are thin shims that build the canonical
+pipeline for their config and run it — with byte-identical
+:class:`BinaryAnnotation` output (pinned by the equivalence tests) and
+analyses shared through the process-wide
+:func:`repro.compiler.shared_manager`.
 """
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.alg_exact import find_exact_candidates
-from repro.core.alg_freq import find_freq_candidates
-from repro.core.analysis import ProgramAnalysis
-from repro.core.cost_model import CostModelParams, evaluate_hammock
-from repro.core.loop_selection import select_loop_diverge_branches
-from repro.core.marks import BinaryAnnotation, DivergeBranch, DivergeKind
-from repro.core.return_cfm import find_return_cfm_candidates
-from repro.core.short_hammocks import apply_short_hammock_heuristic
-from repro.core.thresholds import COST_MODEL, SelectionThresholds
-from repro.obs.context import get_metrics, get_tracer
-from repro.obs.events import BranchRejected, BranchSelected
+from repro.core.cost_model import CostModelParams
+from repro.core.thresholds import COST_MODEL_BOUNDS, SelectionThresholds
+from repro.obs.context import get_tracer
 
 
 @dataclass(frozen=True)
@@ -75,7 +73,7 @@ class SelectionConfig:
         )
 
     @classmethod
-    def all_best_cost(cls, method="edge"):
+    def all_best_cost(cls, method="edge", thresholds=None):
         """Fig. 5's cost-edge+short+ret+loop ("All-best-cost")."""
         return cls(
             enable_exact=True,
@@ -84,22 +82,42 @@ class SelectionConfig:
             enable_return_cfm=True,
             enable_loop=True,
             cost_model=method,
+            thresholds=thresholds or SelectionThresholds(),
             name="all-best-cost",
         )
 
     @property
     def effective_thresholds(self):
-        """Wider bounds in cost-model mode (footnote 4)."""
+        """The thresholds every pass actually runs with.
+
+        In cost-model mode the three footnote-4 bounds (MAX_INSTR=200,
+        MAX_CBR=20, MIN_MERGE_PROB=0) override whatever the config
+        carries, but all other thresholds — short-hammock, loop,
+        MIN_EXEC_PROB — survive.  This is the single source of truth:
+        the short-hammock partition, record construction, and loop
+        selection all see the same bundle (historically the short pass
+        read ``thresholds`` while finishing read the footnote-4
+        constant, which silently dropped custom thresholds in
+        cost-model mode).
+        """
         if self.cost_model is None:
             return self.thresholds
-        return COST_MODEL
+        return self.thresholds.with_overrides(**COST_MODEL_BOUNDS)
 
 
 class DivergeSelector:
-    """Runs the configured passes and emits a :class:`BinaryAnnotation`."""
+    """Runs the configured passes and emits a :class:`BinaryAnnotation`.
+
+    A thin shim over :mod:`repro.compiler`: the constructor resolves
+    the shared analysis (through ``analysis_manager``, default the
+    process-wide manager) and :meth:`select` runs the canonical
+    pipeline for the config.
+    """
 
     def __init__(self, program, profile, config=None, two_d_profile=None,
-                 tracer=None):
+                 tracer=None, analysis_manager=None):
+        from repro.compiler.analysis_manager import shared_manager
+
         self.program = program
         self.profile = profile
         self.config = config or SelectionConfig()
@@ -111,213 +129,30 @@ class DivergeSelector:
         #: Trace events (``select.branch.selected``/``.rejected``) go
         #: here; defaults to the active telemetry context's tracer.
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.analysis = ProgramAnalysis(program, profile)
+        self._manager = (
+            analysis_manager if analysis_manager is not None
+            else shared_manager()
+        )
+        self.analysis = self._manager.analysis(program, profile)
         #: Per-candidate cost reports (populated in cost-model mode).
         self.cost_reports = []
         #: Loop-candidate accept/reject diagnostics.
         self.loop_reports = []
 
-    def _emit_selected(self, branch, report=None):
-        if not self.tracer.enabled:
-            return
-        self.tracer.emit(BranchSelected(
-            branch_pc=branch.branch_pc,
-            kind=branch.kind.value,
-            source=branch.source,
-            always_predicate=branch.always_predicate,
-            num_cfm_points=len(branch.cfm_points),
-            num_select_uops=branch.num_select_uops,
-            dpred_cost=report.dpred_cost if report else None,
-            dpred_overhead=report.dpred_overhead if report else None,
-            merge_prob_total=report.merge_prob_total if report else None,
-        ))
-
-    def _emit_rejected(self, branch_pc, reason, report=None):
-        if not self.tracer.enabled:
-            return
-        self.tracer.emit(BranchRejected(
-            branch_pc=branch_pc,
-            reason=reason,
-            dpred_cost=report.dpred_cost if report else None,
-            dpred_overhead=report.dpred_overhead if report else None,
-            merge_prob_total=report.merge_prob_total if report else None,
-        ))
-
     def select(self):
-        config = self.config
-        thresholds = config.effective_thresholds
-        annotation = BinaryAnnotation(self.program.name)
+        from repro.compiler.pipeline import run_selection_pipeline
 
-        candidates = []
-        if config.enable_exact:
-            candidates.extend(
-                find_exact_candidates(self.analysis, thresholds)
-            )
-        if config.enable_freq:
-            exclude = frozenset(c.branch_pc for c in candidates)
-            candidates.extend(
-                find_freq_candidates(self.analysis, thresholds, exclude)
-            )
-        if config.min_misp_rate > 0.0:
-            branch_profile = self.profile.branch_profile
-            kept = []
-            for candidate in candidates:
-                if branch_profile.misprediction_rate(candidate.branch_pc) \
-                        >= config.min_misp_rate:
-                    kept.append(candidate)
-                else:
-                    self._emit_rejected(candidate.branch_pc,
-                                        "easy-branch-filter")
-            candidates = kept
-        if self.two_d_profile is not None:
-            kept = []
-            for candidate in candidates:
-                if self.two_d_profile.keep_branch(candidate.branch_pc):
-                    kept.append(candidate)
-                else:
-                    self._emit_rejected(candidate.branch_pc,
-                                        "2d-profile-filter")
-            candidates = kept
-
-        # Short hammocks are always predicated; they bypass the cost /
-        # threshold decision and drop their non-qualifying CFM points.
-        short = {}
-        if config.enable_short:
-            short, candidates = apply_short_hammock_heuristic(
-                candidates, self.profile, self.config.thresholds
-            )
-
-        cost_params = config.cost_params
-        if config.cost_model is not None and config.per_app_acc_conf:
-            measured = self.profile.measured_acc_conf
-            if measured > 0.0:
-                cost_params = replace(cost_params, acc_conf=measured)
-
-        cost_by_pc = {}
-        if config.cost_model is not None:
-            selected = []
-            for candidate in candidates:
-                report = evaluate_hammock(
-                    candidate,
-                    self.profile,
-                    cost_params,
-                    method=config.cost_model,
-                )
-                self.cost_reports.append(report)
-                if report.selected:
-                    cost_by_pc[candidate.branch_pc] = report
-                    selected.append(candidate)
-                else:
-                    self._emit_rejected(candidate.branch_pc,
-                                        "cost-model", report)
-            candidates = selected
-
-        for candidate in candidates:
-            branch = self._finish_hammock(candidate, always=False)
-            annotation.add(branch)
-            self._emit_selected(branch, cost_by_pc.get(branch.branch_pc))
-
-        for branch_pc, cfm_points in sorted(short.items()):
-            branch = self._finish_short(branch_pc, cfm_points)
-            annotation.add(branch)
-            self._emit_selected(branch)
-
-        if config.enable_return_cfm:
-            exclude = frozenset(
-                branch.branch_pc for branch in annotation
-            )
-            ret_candidates = find_return_cfm_candidates(
-                self.analysis, thresholds, exclude
-            )
-            if config.cost_model is not None:
-                kept = []
-                for candidate in ret_candidates:
-                    report = evaluate_hammock(
-                        candidate,
-                        self.profile,
-                        cost_params,
-                        method=config.cost_model,
-                    )
-                    self.cost_reports.append(report)
-                    if report.selected:
-                        cost_by_pc[candidate.branch_pc] = report
-                        kept.append(candidate)
-                    else:
-                        self._emit_rejected(candidate.branch_pc,
-                                            "cost-model", report)
-                ret_candidates = kept
-            for candidate in ret_candidates:
-                branch = self._finish_hammock(candidate, always=False,
-                                              source="return-cfm")
-                annotation.add(branch)
-                self._emit_selected(
-                    branch, cost_by_pc.get(branch.branch_pc)
-                )
-
-        if config.enable_loop:
-            loops, self.loop_reports = select_loop_diverge_branches(
-                self.analysis, self.config.thresholds
-            )
-            for branch in loops:
-                if not annotation.is_diverge(branch.branch_pc):
-                    annotation.add(branch)
-                    self._emit_selected(branch)
-            if self.tracer.enabled:
-                for report in self.loop_reports:
-                    if not report.accepted:
-                        self._emit_rejected(
-                            report.branch_pc,
-                            f"loop:{report.reject_reason}",
-                        )
-
-        metrics = get_metrics()
-        metrics.counter("selection_runs_total").inc()
-        metrics.counter("selection_branches_selected_total").inc(
-            len(annotation)
+        state = run_selection_pipeline(
+            self.program,
+            self.profile,
+            self.config,
+            two_d_profile=self.two_d_profile,
+            tracer=self.tracer,
+            manager=self._manager,
         )
-        return annotation
-
-    # -- record construction -------------------------------------------------
-
-    def _finish_hammock(self, candidate, always, source=None):
-        select_registers = self.analysis.select_registers_for_paths(
-            candidate.path_set, candidate.cfm_pcs
-        )
-        return DivergeBranch(
-            branch_pc=candidate.branch_pc,
-            kind=candidate.kind,
-            cfm_points=candidate.cfm_points,
-            select_registers=select_registers,
-            always_predicate=always,
-            source=source or candidate.kind.value,
-        )
-
-    def _finish_short(self, branch_pc, cfm_points):
-        thresholds = self.config.effective_thresholds
-        path_set = self.analysis.paths(
-            branch_pc,
-            max_instr=thresholds.max_instr,
-            max_cbr=thresholds.max_cbr,
-            min_exec_prob=thresholds.min_exec_prob,
-            stop_at_iposdom=True,
-        )
-        cfm_pcs = {p.pc for p in cfm_points if p.pc is not None}
-        select_registers = self.analysis.select_registers_for_paths(
-            path_set, cfm_pcs
-        )
-        kind = (
-            DivergeKind.SIMPLE_HAMMOCK
-            if all(p.merge_prob >= 0.999 for p in cfm_points)
-            else DivergeKind.FREQUENTLY_HAMMOCK
-        )
-        return DivergeBranch(
-            branch_pc=branch_pc,
-            kind=kind,
-            cfm_points=tuple(cfm_points),
-            select_registers=select_registers,
-            always_predicate=True,
-            source="short-hammock",
-        )
+        self.cost_reports = state.cost_reports
+        self.loop_reports = state.loop_reports
+        return state.annotation
 
 
 def select_diverge_branches(program, profile, config=None,

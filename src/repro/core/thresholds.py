@@ -52,9 +52,14 @@ class SelectionThresholds:
 #: The paper's best-performing heuristic thresholds (§7.1.1).
 BEST_HEURISTIC = SelectionThresholds()
 
+#: The three bounds footnote 4 pins in cost-model mode.  Applied as
+#: overrides on top of whatever thresholds a config carries, so custom
+#: non-bound thresholds (short-hammock, loop, MIN_EXEC_PROB) survive.
+COST_MODEL_BOUNDS = {"max_instr": 200, "max_cbr": 20,
+                     "min_merge_prob": 0.0}
+
 #: Enumeration bounds the cost model uses (footnote 4).
-COST_MODEL = SelectionThresholds(max_instr=200, max_cbr=20,
-                                 min_merge_prob=0.0)
+COST_MODEL = SelectionThresholds(**COST_MODEL_BOUNDS)
 
 #: §4.1: the single confidence-estimator accuracy the compiler assumes.
 DEFAULT_ACC_CONF = 0.40

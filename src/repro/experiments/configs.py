@@ -2,64 +2,42 @@
 
 The names follow the paper's figure legends: the cumulative heuristic
 series of Figure 5 (left), the cost-model series of Figure 5 (right),
-and the simple baselines of Figure 8.
+and the simple baselines of Figure 8.  Since the pass-manager refactor
+the definitions live in :mod:`repro.compiler.registry`; this module
+re-exposes them in figure order.
 """
 
-from repro.core import SelectionConfig
+from repro.compiler import registry
 from repro.core.simple_algorithms import SIMPLE_ALGORITHMS
 
 #: Figure 5 (left): each technique added cumulatively.
-CUMULATIVE_HEURISTICS = (
-    ("exact", SelectionConfig(enable_freq=False, name="exact")),
-    ("exact+freq", SelectionConfig(name="exact+freq")),
-    (
+CUMULATIVE_HEURISTICS = tuple(
+    (name, registry.resolve(name))
+    for name in (
+        "exact",
+        "exact+freq",
         "exact+freq+short",
-        SelectionConfig(enable_short=True, name="exact+freq+short"),
-    ),
-    (
         "exact+freq+short+ret",
-        SelectionConfig(
-            enable_short=True,
-            enable_return_cfm=True,
-            name="exact+freq+short+ret",
-        ),
-    ),
-    ("all-best-heur", SelectionConfig.all_best_heur()),
+        "all-best-heur",
+    )
 )
 
 #: Figure 5 (right): the cost-benefit model variants.
-COST_CONFIGS = (
-    ("cost-long", SelectionConfig(cost_model="long", name="cost-long")),
-    ("cost-edge", SelectionConfig(cost_model="edge", name="cost-edge")),
-    (
+COST_CONFIGS = tuple(
+    (name, registry.resolve(name))
+    for name in (
+        "cost-long",
+        "cost-edge",
         "cost-edge+short",
-        SelectionConfig(
-            cost_model="edge", enable_short=True, name="cost-edge+short"
-        ),
-    ),
-    (
         "cost-edge+short+ret",
-        SelectionConfig(
-            cost_model="edge",
-            enable_short=True,
-            enable_return_cfm=True,
-            name="cost-edge+short+ret",
-        ),
-    ),
-    ("all-best-cost", SelectionConfig.all_best_cost()),
+        "all-best-cost",
+    )
 )
-
-_NAMED = dict(CUMULATIVE_HEURISTICS) | dict(COST_CONFIGS)
 
 
 def named_config(name):
     """Look up a selection config by its figure-legend name."""
-    try:
-        return _NAMED[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown config {name!r}; choose from {sorted(_NAMED)}"
-        ) from None
+    return registry.resolve(name)
 
 
 #: Figure 8's simple algorithms (name -> callable(program, profile)).

@@ -106,9 +106,12 @@ _baseline_cache = KeyedCache("baseline", max_entries=128)
 
 
 def clear_cache():
-    """Drop all cached traces/profiles/baselines (frees memory)."""
+    """Drop all cached traces/profiles/baselines/analyses (frees memory)."""
+    from repro.compiler.analysis_manager import reset_shared_manager
+
     _artifact_cache.clear()
     _baseline_cache.clear()
+    reset_shared_manager()
 
 
 def get_artifacts(name, input_set="reduced", scale=1.0):

@@ -62,6 +62,7 @@ class Program:
         self._function_of_pc: List[Optional[Function]] = [None] * len(
             self._instructions
         )
+        self._fingerprint: Optional[str] = None
         self._validate()
 
     # -- construction helpers -------------------------------------------
@@ -148,6 +149,21 @@ class Program:
             for pc, inst in enumerate(self._instructions)
             if inst.is_conditional_branch
         ]
+
+    @property
+    def fingerprint(self):
+        """Stable content key for this program (name + disassembly).
+
+        Used by ``repro.compiler.AnalysisManager`` to share cached
+        :class:`~repro.core.analysis.ProgramAnalysis` products across
+        selection configs operating on the same program.
+        """
+        if self._fingerprint is None:
+            import zlib
+
+            text = f"{self.name}\n{self.disassemble()}"
+            self._fingerprint = f"{zlib.crc32(text.encode('utf-8')):08x}"
+        return self._fingerprint
 
     # -- printing ----------------------------------------------------------
 

@@ -110,6 +110,34 @@ class BranchRejected:
     merge_prob_total: Optional[float] = None
 
 
+# -- compiler pipeline -------------------------------------------------------
+
+
+@event
+@dataclass(frozen=True)
+class CompilePassStart:
+    """The pass-manager pipeline started running one selection pass."""
+
+    type: ClassVar[str] = "compile.pass.start"
+    pipeline: str
+    pass_name: str
+    index: int
+
+
+@event
+@dataclass(frozen=True)
+class CompilePassEnd:
+    """One selection pass finished, with its working-set sizes."""
+
+    type: ClassVar[str] = "compile.pass.end"
+    pipeline: str
+    pass_name: str
+    index: int
+    seconds: float
+    candidates: int           # pending hammock candidates after the pass
+    selected: int             # diverge branches annotated so far
+
+
 # -- microarchitecture -------------------------------------------------------
 
 

@@ -38,6 +38,13 @@ class BranchProfile:
     def total_executed(self):
         return sum(self._executed.values())
 
+    def signature(self):
+        """Canonical content tuple: ``(pc, executed, mispredicted)`` by pc."""
+        return tuple(
+            (pc, self._executed[pc], self._mispredicted.get(pc, 0))
+            for pc in sorted(self._executed)
+        )
+
     def branches_above_rate(self, rate):
         """Branch pcs whose misprediction rate exceeds ``rate``."""
         return sorted(

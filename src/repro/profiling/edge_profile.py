@@ -46,3 +46,10 @@ class EdgeProfile:
     def executed_branch_pcs(self):
         """All branch pcs seen during profiling."""
         return sorted(set(self._taken) | set(self._not_taken))
+
+    def signature(self):
+        """Canonical content tuple: ``(pc, taken, not_taken)`` sorted by pc."""
+        return tuple(
+            (pc, self._taken.get(pc, 0), self._not_taken.get(pc, 0))
+            for pc in self.executed_branch_pcs()
+        )

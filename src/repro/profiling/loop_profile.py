@@ -50,6 +50,17 @@ class LoopProfile:
                 state.direction = None
                 state.length = 0
 
+    def signature(self):
+        """Canonical content tuple of completed-run statistics per pc."""
+        return tuple(
+            (
+                pc,
+                state.sums[True], state.counts[True],
+                state.sums[False], state.counts[False],
+            )
+            for pc, state in sorted(self._states.items())
+        )
+
     def average_run_length(self, pc, direction):
         """Mean length of completed ``direction`` runs at ``pc`` (0.0 if none)."""
         state = self._states.get(pc)

@@ -47,6 +47,32 @@ class ProfileData:
             return 0.0
         return self.edge_profile.exec_count(pc) / self.total_instructions
 
+    def cache_key(self):
+        """Stable content key over everything selection reads.
+
+        Covers the edge, branch, and loop profiles plus the run totals:
+        any profile change that could alter a selection decision changes
+        the key.  Cached after the first call — profiles are sealed by
+        the time the compiler sees them.
+        """
+        key = getattr(self, "_cache_key", None)
+        if key is None:
+            import zlib
+
+            text = repr((
+                self.total_instructions,
+                self.total_branches,
+                self.total_mispredictions,
+                round(self.measured_acc_conf, 9),
+                self.halted,
+                self.edge_profile.signature(),
+                self.branch_profile.signature(),
+                self.loop_profile.signature(),
+            ))
+            key = f"{zlib.crc32(text.encode('utf-8')):08x}"
+            self._cache_key = key
+        return key
+
 
 class ProfileCollector:
     """Branch-observation half of one profiling pass.

@@ -1,0 +1,168 @@
+"""Frozen copy of the pre-pipeline ``DivergeSelector.select`` logic.
+
+This module is the oracle for the pipeline-equivalence tests: it
+preserves, verbatim, the monolithic selection sequence that shipped
+before ``repro.compiler`` existed, so the tests can assert that the
+pass-manager pipeline emits byte-identical annotations for every
+preset.  Do not "improve" this file — its value is that it does not
+change.
+"""
+
+from dataclasses import replace
+
+from repro.core.alg_exact import find_exact_candidates
+from repro.core.alg_freq import find_freq_candidates
+from repro.core.analysis import ProgramAnalysis
+from repro.core.cost_model import evaluate_hammock
+from repro.core.loop_selection import select_loop_diverge_branches
+from repro.core.marks import BinaryAnnotation, DivergeBranch, DivergeKind
+from repro.core.return_cfm import find_return_cfm_candidates
+from repro.core.short_hammocks import apply_short_hammock_heuristic
+from repro.core.thresholds import COST_MODEL
+
+
+def _effective_thresholds(config):
+    """The legacy rule: cost-model mode discarded custom thresholds."""
+    if config.cost_model is None:
+        return config.thresholds
+    return COST_MODEL
+
+
+def _finish_hammock(analysis, candidate, always, source=None):
+    select_registers = analysis.select_registers_for_paths(
+        candidate.path_set, candidate.cfm_pcs
+    )
+    return DivergeBranch(
+        branch_pc=candidate.branch_pc,
+        kind=candidate.kind,
+        cfm_points=candidate.cfm_points,
+        select_registers=select_registers,
+        always_predicate=always,
+        source=source or candidate.kind.value,
+    )
+
+
+def _finish_short(analysis, config, branch_pc, cfm_points):
+    thresholds = _effective_thresholds(config)
+    path_set = analysis.paths(
+        branch_pc,
+        max_instr=thresholds.max_instr,
+        max_cbr=thresholds.max_cbr,
+        min_exec_prob=thresholds.min_exec_prob,
+        stop_at_iposdom=True,
+    )
+    cfm_pcs = {p.pc for p in cfm_points if p.pc is not None}
+    select_registers = analysis.select_registers_for_paths(
+        path_set, cfm_pcs
+    )
+    kind = (
+        DivergeKind.SIMPLE_HAMMOCK
+        if all(p.merge_prob >= 0.999 for p in cfm_points)
+        else DivergeKind.FREQUENTLY_HAMMOCK
+    )
+    return DivergeBranch(
+        branch_pc=branch_pc,
+        kind=kind,
+        cfm_points=tuple(cfm_points),
+        select_registers=select_registers,
+        always_predicate=True,
+        source="short-hammock",
+    )
+
+
+def legacy_select(program, profile, config, two_d_profile=None):
+    """The old monolithic selection; returns
+    ``(annotation, cost_reports, loop_reports)``."""
+    analysis = ProgramAnalysis(program, profile)
+    thresholds = _effective_thresholds(config)
+    annotation = BinaryAnnotation(program.name)
+    cost_reports = []
+    loop_reports = []
+
+    candidates = []
+    if config.enable_exact:
+        candidates.extend(find_exact_candidates(analysis, thresholds))
+    if config.enable_freq:
+        exclude = frozenset(c.branch_pc for c in candidates)
+        candidates.extend(
+            find_freq_candidates(analysis, thresholds, exclude)
+        )
+    if config.min_misp_rate > 0.0:
+        branch_profile = profile.branch_profile
+        candidates = [
+            candidate
+            for candidate in candidates
+            if branch_profile.misprediction_rate(candidate.branch_pc)
+            >= config.min_misp_rate
+        ]
+    if two_d_profile is not None:
+        candidates = [
+            candidate
+            for candidate in candidates
+            if two_d_profile.keep_branch(candidate.branch_pc)
+        ]
+
+    short = {}
+    if config.enable_short:
+        short, candidates = apply_short_hammock_heuristic(
+            candidates, profile, config.thresholds
+        )
+
+    cost_params = config.cost_params
+    if config.cost_model is not None and config.per_app_acc_conf:
+        measured = profile.measured_acc_conf
+        if measured > 0.0:
+            cost_params = replace(cost_params, acc_conf=measured)
+
+    if config.cost_model is not None:
+        selected = []
+        for candidate in candidates:
+            report = evaluate_hammock(
+                candidate, profile, cost_params,
+                method=config.cost_model,
+            )
+            cost_reports.append(report)
+            if report.selected:
+                selected.append(candidate)
+        candidates = selected
+
+    for candidate in candidates:
+        annotation.add(_finish_hammock(analysis, candidate, always=False))
+
+    for branch_pc, cfm_points in sorted(short.items()):
+        annotation.add(
+            _finish_short(analysis, config, branch_pc, cfm_points)
+        )
+
+    if config.enable_return_cfm:
+        exclude = frozenset(branch.branch_pc for branch in annotation)
+        ret_candidates = find_return_cfm_candidates(
+            analysis, thresholds, exclude
+        )
+        if config.cost_model is not None:
+            kept = []
+            for candidate in ret_candidates:
+                report = evaluate_hammock(
+                    candidate, profile, cost_params,
+                    method=config.cost_model,
+                )
+                cost_reports.append(report)
+                if report.selected:
+                    kept.append(candidate)
+            ret_candidates = kept
+        for candidate in ret_candidates:
+            annotation.add(
+                _finish_hammock(
+                    analysis, candidate, always=False, source="return-cfm"
+                )
+            )
+
+    if config.enable_loop:
+        loops, loop_reports = select_loop_diverge_branches(
+            analysis, config.thresholds
+        )
+        for branch in loops:
+            if not annotation.is_diverge(branch.branch_pc):
+                annotation.add(branch)
+
+    return annotation, cost_reports, loop_reports

@@ -11,12 +11,19 @@ def _isolated_disk_cache(tmp_path, monkeypatch):
     """Point the persistent artifact cache at a per-test directory.
 
     Keeps the suite hermetic: no test reads artifacts a previous run
-    (or the developer's real experiments) left in ``~/.cache``.
+    (or the developer's real experiments) left in ``~/.cache``.  The
+    in-memory runner caches (artifacts, baselines, shared analyses)
+    are cleared on entry for the same reason — the campaign
+    scheduler's parent-side warm hook populates them as a side effect
+    of any campaign test.
     """
+    from repro.experiments import runner
+
     monkeypatch.delenv(artifact_cache.ENV_CACHE_DISABLE, raising=False)
     monkeypatch.setenv(
         artifact_cache.ENV_CACHE_DIR, str(tmp_path / "artifact-cache")
     )
+    runner.clear_cache()
     yield
 
 

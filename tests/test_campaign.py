@@ -322,6 +322,56 @@ class TestScheduler:
         assert "synthetic cell failure" in status
 
 
+class TestCacheJournaling:
+    """Per-cell analysis-cache counters in the journal (status-only)."""
+
+    def test_finish_records_carry_cache_counters(self, tmp_path):
+        spec = _spec()          # fake_cell: no analyses, zero counters
+        _run(spec, tmp_path)
+        state = replay(tmp_path / "journal.jsonl")
+        assert set(state.cache) == set(state.results)
+        assert all(
+            cell == {"analysis_hits": 0, "analysis_misses": 0}
+            for cell in state.cache.values()
+        )
+
+    def test_status_omits_cache_line_without_lookups(self, tmp_path):
+        spec = _spec()
+        _run(spec, tmp_path)
+        state = replay(tmp_path / "journal.jsonl")
+        assert "analysis cache:" not in render_status(spec, state)
+
+    def test_status_summarizes_journaled_counters(self):
+        spec = _spec()
+        state = replay("/nonexistent")
+        for cell in spec.cells():
+            state.results[cell.cell_id] = {"speedup": 0.1}
+            state.cache[cell.cell_id] = {
+                "analysis_hits": 3, "analysis_misses": 1,
+            }
+        status = render_status(spec, state)
+        assert "analysis cache: 12/16 hits (75%) across 4 journaled " \
+            "cells" in status
+
+    def test_report_ignores_cache_records(self, tmp_path):
+        """``report`` stays deterministic: cache annotations are an
+        operational detail and must not leak into it."""
+        spec = _spec()
+        out = _run(spec, tmp_path)
+        report = render_report(spec, out["results"])
+        assert "analysis cache" not in report
+
+    def test_cell_finish_without_cache_is_unchanged(self, tmp_path):
+        """Direct journal writers (benchmarks, older tools) that pass
+        no cache argument produce records without the key."""
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.cell_finish("cell0", 1, 0.5, {"speedup": 0.1})
+        record = json.loads(path.read_text())
+        assert "cache" not in record
+        assert not replay(path).cache
+
+
 class TestCampaignCLI:
     def _spec_file(self, tmp_path):
         path = tmp_path / "probe.json"
@@ -426,6 +476,16 @@ class TestFig7AsCampaign:
         assert len(out["results"]) == len(spec.cells())
         means, gaps = aggregate_means(spec, out["results"])
         assert not gaps
+
+        # The parent-side warm hook builds each benchmark's analysis
+        # once; every forked worker then hits the inherited cache, and
+        # the journal records the per-cell counters.
+        state = replay(tmp_path / "journal.jsonl")
+        assert set(state.cache) == set(state.results)
+        assert all(cell["analysis_hits"] >= 1
+                   for cell in state.cache.values())
+        status = render_status(spec, state)
+        assert "analysis cache:" in status
 
         runner.clear_cache()
         reference = fig7.run(
