@@ -80,6 +80,30 @@ def test_dmp_simulator_throughput(benchmark, artifacts):
     )
 
 
+def test_dmp_simulator_with_ledger_throughput(benchmark, artifacts):
+    """The attribution path: per-branch counters + RuntimeLedger.
+
+    Kept next to ``test_dmp_simulator_throughput`` so a BENCH run shows
+    both numbers — the default (``ledger=None``) run must stay on the
+    counter-free fast path, and this one bounds what attribution costs
+    when it *is* requested.
+    """
+    from repro.obs.ledger import RuntimeLedger
+
+    workload, trace, profile = artifacts
+    annotation = select_diverge_branches(
+        workload.program, profile, SelectionConfig.all_best_heur()
+    )
+    benchmark.pedantic(
+        lambda: TimingSimulator(
+            workload.program, annotation=annotation,
+            ledger=RuntimeLedger(),
+        ).run(trace, label="bench"),
+        rounds=3,
+        iterations=1,
+    )
+
+
 def test_selector_throughput(benchmark, artifacts):
     workload, _, profile = artifacts
     benchmark.pedantic(

@@ -1,0 +1,181 @@
+"""Benchmark trajectory: throughput history with a regression gate.
+
+The component/engine/pipeline/campaign benchmark suites each drop a
+``benchmarks/results/BENCH_*.json`` snapshot of their machine-readable
+timings.  Those files are overwritten per run, so they answer "how fast
+is it now?" but not "is it getting slower?".  This tool keeps the
+history:
+
+- ``append`` folds the throughput figures (every ``*_per_sec`` key) of
+  all current ``BENCH_*.json`` files into one record and appends it to
+  ``benchmarks/results/BENCH_trajectory.jsonl`` (committed, one line
+  per benchmarked revision);
+- ``check`` compares the newest record against the previous one and
+  exits non-zero if any shared throughput metric regressed by more
+  than ``--tolerance`` (default 30% — generous, because CI runners are
+  noisy; sustained drift still trips it).
+
+CI runs the suites, then ``append``, then ``check`` (see the
+``benchmark-trajectory`` job in ``.github/workflows/ci.yml``).
+
+Usage::
+
+    python benchmarks/trajectory.py append [--rev auto]
+    python benchmarks/trajectory.py check [--tolerance 0.3]
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+#: Default location of the BENCH_*.json snapshots and the trajectory.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
+
+#: Maximum allowed fractional drop of any shared throughput metric.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _git_rev():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=False,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def collect_throughput(results_dir):
+    """``{"<file>.<key>": value}`` for every ``*_per_sec`` figure."""
+    throughput = {}
+    pattern = os.path.join(results_dir, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"trajectory: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(data, dict):
+            continue
+        for key, value in data.items():
+            if key.endswith("_per_sec") and isinstance(value, (int, float)):
+                throughput[f"{name}.{key}"] = value
+    return throughput
+
+
+def read_trajectory(path):
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                # A torn tail from an interrupted append: keep history.
+                print("trajectory: skipping corrupt line",
+                      file=sys.stderr)
+    return records
+
+
+def append(results_dir, trajectory_path, rev=None):
+    throughput = collect_throughput(results_dir)
+    if not throughput:
+        print(f"trajectory: no *_per_sec figures under {results_dir}; "
+              f"run the benchmark suites first", file=sys.stderr)
+        return 1
+    record = {
+        "ts": time.time(),
+        "rev": rev if rev not in (None, "auto") else _git_rev(),
+        "throughput": throughput,
+    }
+    with open(trajectory_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"trajectory: appended {len(throughput)} metrics "
+          f"(rev {record['rev']}) to {trajectory_path}")
+    return 0
+
+
+def compare(previous, current, tolerance):
+    """(regressions, improvements) between two throughput dicts."""
+    regressions = []
+    improvements = []
+    for key in sorted(set(previous) & set(current)):
+        before, after = previous[key], current[key]
+        if before <= 0:
+            continue
+        change = (after - before) / before
+        if change < -tolerance:
+            regressions.append((key, before, after, change))
+        elif change > tolerance:
+            improvements.append((key, before, after, change))
+    return regressions, improvements
+
+
+def check(trajectory_path, tolerance):
+    records = read_trajectory(trajectory_path)
+    if len(records) < 2:
+        print(f"trajectory: {len(records)} record(s) in "
+              f"{trajectory_path}; nothing to compare yet")
+        return 0
+    previous = records[-2].get("throughput", {})
+    current = records[-1].get("throughput", {})
+    regressions, improvements = compare(previous, current, tolerance)
+    for key, before, after, change in improvements:
+        print(f"trajectory: {key} improved "
+              f"{before:.2f} -> {after:.2f} ({change:+.0%})")
+    if not regressions:
+        shared = len(set(previous) & set(current))
+        print(f"trajectory: OK — {shared} shared metrics within "
+              f"{tolerance:.0%} of the previous record")
+        return 0
+    for key, before, after, change in regressions:
+        print(f"trajectory: REGRESSION {key} "
+              f"{before:.2f} -> {after:.2f} ({change:+.0%}, "
+              f"tolerance -{tolerance:.0%})", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/trajectory.py",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("command", choices=("append", "check"))
+    parser.add_argument("--results-dir", default=RESULTS_DIR)
+    parser.add_argument(
+        "--trajectory", default=None,
+        help=f"history file (default <results-dir>/{TRAJECTORY_NAME})",
+    )
+    parser.add_argument("--rev", default="auto",
+                        help="revision label for append (default: git)")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"max fractional throughput drop "
+             f"(default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    trajectory_path = args.trajectory or os.path.join(
+        args.results_dir, TRAJECTORY_NAME
+    )
+    if args.command == "append":
+        return append(args.results_dir, trajectory_path, rev=args.rev)
+    return check(trajectory_path, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,12 @@ Compiler pipeline (see ``docs/compiler.md``)::
     python -m repro compile --benchmark twolf --config all-best-heur
     python -m repro compile --benchmark twolf \
         --pipeline "exact,freq,short,ret,loop,cost:edge" -o marks.json
+
+Decision ledger (see ``docs/observability.md``)::
+
+    python -m repro explain mcf --config All-best-cost
+    python -m repro explain mcf --branch 137
+    python -m repro explain mcf --json -o results/explain_mcf.json
 """
 
 import argparse
@@ -88,6 +94,10 @@ def main(argv=None):
         from repro.compiler.cli import main as compile_main
 
         return compile_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.obs.explain import main as explain_main
+
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -163,6 +173,13 @@ def main(argv=None):
         help="write the metrics-registry snapshot as JSON",
     )
     parser.add_argument(
+        "--metrics-format",
+        choices=("json", "openmetrics"),
+        default="json",
+        help="format for --metrics output (openmetrics = Prometheus "
+             "text exposition)",
+    )
+    parser.add_argument(
         "--manifest",
         metavar="OUT.json",
         default=None,
@@ -224,8 +241,12 @@ def main(argv=None):
     if args.trace:
         print(f"[obs] trace written to {args.trace}")
     if args.metrics:
-        registry.write_json(args.metrics)
-        print(f"[obs] metrics written to {args.metrics}")
+        if args.metrics_format == "openmetrics":
+            registry.write_openmetrics(args.metrics)
+        else:
+            registry.write_json(args.metrics)
+        print(f"[obs] metrics written to {args.metrics} "
+              f"({args.metrics_format})")
 
     manifest_path = args.manifest
     if manifest_path is None and args.artifact == "all":

@@ -106,6 +106,11 @@ def _build_parser():
     )
     report.add_argument("target", help="campaign name or directory")
     report.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    report.add_argument(
+        "--explain", action="store_true",
+        help="append the per-cell decision-ledger section "
+             "(estimate-vs-observed; journaled by each cell)",
+    )
     report.set_defaults(handler=_cmd_report)
     return parser
 
@@ -230,7 +235,8 @@ def _cmd_report(parser, args):
     spec = CampaignSpec.load(spec_path)
     state = replay(os.path.join(directory, JOURNAL_NAME))
     print(render_report(spec, state.results,
-                        quarantined=state.quarantined))
+                        quarantined=state.quarantined,
+                        ledgers=state.ledger if args.explain else None))
     return 0
 
 

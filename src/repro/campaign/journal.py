@@ -70,7 +70,8 @@ class Journal:
             "attempt": attempt, "ts": time.time(),
         })
 
-    def cell_finish(self, cell_id, attempt, seconds, result, cache=None):
+    def cell_finish(self, cell_id, attempt, seconds, result, cache=None,
+                    ledger=None):
         record = {
             "type": "cell.finish", "cell_id": cell_id,
             "attempt": attempt, "seconds": seconds,
@@ -81,6 +82,12 @@ class Journal:
             # operational annotation, surfaced by ``status`` only; the
             # deterministic ``report`` never reads it.
             record["cache"] = cache
+        if ledger is not None:
+            # Compact decision-ledger summary (see
+            # ``repro.obs.explain.cell_ledger_summary``); like the cache
+            # counters, an annotation — the base ``report`` ignores it,
+            # ``report --explain`` renders it.
+            record["ledger"] = ledger
         return self.append(record)
 
     def cell_fail(self, cell_id, attempt, kind, error, seconds):
@@ -111,6 +118,9 @@ class JournalState:
     #: cell_id -> cache counters of the successful attempt (when the
     #: journal recorded them; older journals simply have none).
     cache: dict = field(default_factory=dict)
+    #: cell_id -> decision-ledger summary of the successful attempt
+    #: (when recorded; rendered by ``campaign report --explain``).
+    ledger: dict = field(default_factory=dict)
     quarantined: set = field(default_factory=set)
     #: cell_ids with a start but (yet) no finish/fail — in-flight when
     #: the previous session died; they count as pending on resume.
@@ -179,6 +189,8 @@ def _apply(state, record):
         state.results.setdefault(cell_id, record.get("result"))
         if "cache" in record:
             state.cache.setdefault(cell_id, record["cache"])
+        if "ledger" in record:
+            state.ledger.setdefault(cell_id, record["ledger"])
     elif kind == "cell.fail":
         state.in_flight.discard(cell_id)
         state.failures[cell_id] = state.failures.get(cell_id, 0) + 1

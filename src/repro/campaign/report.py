@@ -105,8 +105,13 @@ def render_status(spec, state, directory=None):
     return "\n".join(lines)
 
 
-def render_report(spec, results, quarantined=()):
-    """The deterministic scientific report (see module docstring)."""
+def render_report(spec, results, quarantined=(), ledgers=None):
+    """The deterministic scientific report (see module docstring).
+
+    ``ledgers`` (cell_id -> journaled decision-ledger summary) adds the
+    ``--explain`` section; it is an *annotation* — the base sections
+    render identically with or without it.
+    """
     cells = spec.cells()
     sections = [_render_header(spec, cells, results, quarantined)]
     sections.append(_render_cell_table(spec, cells, results, quarantined))
@@ -114,6 +119,8 @@ def render_report(spec, results, quarantined=()):
         sections.append(_render_means(spec, results))
     if len(spec.axes) == 2:
         sections.append(_render_sensitivity(spec, results))
+    if ledgers is not None:
+        sections.append(_render_explain(spec, cells, ledgers))
     return "\n\n".join(sections)
 
 
@@ -183,6 +190,46 @@ def _render_means(spec, results):
             f"\nBest point: {point_label(best)} "
             f"({percent(means[best])})"
         )
+    return table
+
+
+def _render_explain(spec, cells, ledgers):
+    """Per-cell decision-ledger summaries (``report --explain``)."""
+    headers = ["cell", "benchmark", "sel", "rej", "episodes",
+               "avoided", "flushes", "net cycles", "misest", "recon"]
+    rows = []
+    misestimated_cells = 0
+    for cell in cells:
+        entry = ledgers.get(cell.cell_id)
+        if entry is None:
+            rows.append([cell.cell_id, cell.benchmark]
+                        + [GAP] * (len(headers) - 2))
+            continue
+        misest = entry.get("misestimated", [])
+        if misest:
+            misestimated_cells += 1
+        rows.append([
+            cell.cell_id,
+            cell.benchmark,
+            str(entry.get("selected", 0)),
+            str(entry.get("rejected", 0)),
+            str(entry.get("episodes", 0)),
+            str(entry.get("flushes_avoided", 0)),
+            str(entry.get("flushes_taken", 0)),
+            f"{entry.get('observed_net_cycles', 0.0):.1f}",
+            ",".join(str(pc) for pc in misest) or "-",
+            "ok" if entry.get("consistent") else "MISMATCH",
+        ])
+    table = render_table(
+        headers, rows,
+        title="Decision ledger (estimate vs observed, per cell)",
+    )
+    journaled = sum(1 for cell in cells if cell.cell_id in ledgers)
+    table += (
+        f"\n{journaled}/{len(cells)} cells journaled a ledger; "
+        f"{misestimated_cells} carry mis-estimated branches "
+        f"(run `python -m repro explain <benchmark>` to drill in)"
+    )
     return table
 
 

@@ -273,9 +273,19 @@ class Scheduler:
         if payload is not None and payload.get("ok"):
             get_metrics().merge_snapshot(payload["metrics"])
             get_phases().merge_snapshot(payload["phases"])
+            result = payload["result"]
+            # The ledger summary is a journal *annotation* (like the
+            # cache counters), not part of the deterministic report
+            # payload — pop it so resumed and fresh runs journal
+            # byte-identical results.
+            ledger_summary = (
+                result.pop("ledger", None)
+                if isinstance(result, dict) else None
+            )
             self.journal.cell_finish(
-                cell_id, task.attempt, elapsed, payload["result"],
+                cell_id, task.attempt, elapsed, result,
                 cache=_analysis_cache_stats(payload["metrics"]),
+                ledger=ledger_summary,
             )
             get_metrics().counter("campaign_cells_completed_total").inc()
             tracer = get_tracer()

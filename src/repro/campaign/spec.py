@@ -307,9 +307,15 @@ def run_cell(params):
 
     Returns a JSON-ready dict (the journal stores it verbatim); all
     numbers are exact reproductions of what the monolithic figure
-    drivers compute for the same (benchmark, config) pair.
+    drivers compute for the same (benchmark, config) pair.  The
+    ``ledger`` key is the compact decision-ledger summary — the
+    scheduler pops it off the result and journals it as a cell
+    annotation (like the cache counters), so the deterministic report
+    payload stays byte-identical with or without it.
     """
     from repro.experiments.runner import run_baseline, run_selection
+    from repro.obs.explain import cell_ledger_summary
+    from repro.obs.ledger import RuntimeLedger, SelectionLedger
 
     processor = build_processor(params.get("processor"))
     selection = build_selection(
@@ -321,15 +327,22 @@ def run_cell(params):
     baseline = run_baseline(
         benchmark, input_set=input_set, scale=scale, config=processor
     )
+    selection_ledger = SelectionLedger()
+    runtime_ledger = RuntimeLedger()
     stats, annotation = run_selection(
         benchmark, selection, input_set=input_set, scale=scale,
         config=processor,
+        selection_ledger=selection_ledger,
+        runtime_ledger=runtime_ledger,
     )
     return {
         "speedup": stats.speedup_over(baseline),
         "baseline": baseline.as_dict(),
         "stats": stats.as_dict(),
         "diverge_branches": len(annotation),
+        "ledger": cell_ledger_summary(
+            selection_ledger, runtime_ledger, selection.cost_params
+        ),
     }
 
 

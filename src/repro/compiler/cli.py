@@ -111,7 +111,10 @@ def main(argv=None):
     text = annotation_io.dumps(annotation)
 
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
+        from repro.ioutil import ensure_parent
+
+        with open(ensure_parent(args.output), "w",
+                  encoding="utf-8") as handle:
             handle.write(text + "\n")
         sources = {}
         for branch in annotation:

@@ -35,11 +35,12 @@ class CompileContext:
     __slots__ = (
         "program", "profile", "analysis", "thresholds", "cost_method",
         "cost_params", "min_misp_rate", "two_d_profile", "tracer",
+        "ledger", "current_pass",
     )
 
     def __init__(self, program, profile, analysis, thresholds,
                  cost_method=None, cost_params=None, min_misp_rate=0.0,
-                 two_d_profile=None, tracer=None):
+                 two_d_profile=None, tracer=None, ledger=None):
         self.program = program
         self.profile = profile
         self.analysis = analysis
@@ -51,10 +52,21 @@ class CompileContext:
         self.min_misp_rate = min_misp_rate
         self.two_d_profile = two_d_profile
         self.tracer = tracer
+        #: A :class:`repro.obs.ledger.SelectionLedger` (or ``None``)
+        #: collecting every verdict, independent of the tracer.
+        self.ledger = ledger
+        #: The running pass's name — the pipeline maintains this so
+        #: ledger decisions attribute to the pass that made them.
+        self.current_pass = ""
 
-    # -- trace emission (shared by every pass) --------------------------
+    # -- verdict emission (shared by every pass) ------------------------
 
-    def emit_selected(self, branch, report=None):
+    def emit_selected(self, branch, report=None, rule=None):
+        if self.ledger is not None:
+            self.ledger.record_selected(
+                branch, self.current_pass, report=report, rule=rule,
+                params=self.cost_params,
+            )
         if self.tracer is None or not self.tracer.enabled:
             return
         self.tracer.emit(BranchSelected(
@@ -69,7 +81,12 @@ class CompileContext:
             merge_prob_total=report.merge_prob_total if report else None,
         ))
 
-    def emit_rejected(self, branch_pc, reason, report=None):
+    def emit_rejected(self, branch_pc, reason, report=None, rule=None):
+        if self.ledger is not None:
+            self.ledger.record_rejected(
+                branch_pc, self.current_pass, reason, report=report,
+                rule=rule, params=self.cost_params,
+            )
         if self.tracer is None or not self.tracer.enabled:
             return
         self.tracer.emit(BranchRejected(
@@ -96,6 +113,10 @@ class SelectionState:
     cost_reports: list = field(default_factory=list)
     #: Diverge-loop accept/reject diagnostics.
     loop_reports: list = field(default_factory=list)
+    #: The context's :class:`~repro.obs.ledger.SelectionLedger` (or
+    #: ``None``), mirrored here by the pipeline so callers that only
+    #: see the final state can still read the decisions.
+    ledger: object = None
 
 
 class Pass:
@@ -164,7 +185,8 @@ class MinMispRateFilterPass(Pass):
                 kept.append(candidate)
             else:
                 ctx.emit_rejected(candidate.branch_pc,
-                                  "easy-branch-filter")
+                                  "easy-branch-filter",
+                                  rule=f"misp_rate<{rate:g}")
         state.candidates = kept
 
 
@@ -182,7 +204,8 @@ class TwoDProfileFilterPass(Pass):
                 kept.append(candidate)
             else:
                 ctx.emit_rejected(candidate.branch_pc,
-                                  "2d-profile-filter")
+                                  "2d-profile-filter",
+                                  rule="always-easy-2d")
         state.candidates = kept
 
 
@@ -205,7 +228,8 @@ def apply_cost_filter(ctx, state, candidates):
             state.cost_by_pc[candidate.branch_pc] = report
             kept.append(candidate)
         else:
-            ctx.emit_rejected(candidate.branch_pc, "cost-model", report)
+            ctx.emit_rejected(candidate.branch_pc, "cost-model", report,
+                              rule="dpred_cost>=0")
     return kept
 
 
@@ -348,10 +372,10 @@ class LoopPass(Pass):
             if not state.annotation.is_diverge(branch.branch_pc):
                 state.annotation.add(branch)
                 ctx.emit_selected(branch)
-        if ctx.tracer is not None and ctx.tracer.enabled:
-            for report in state.loop_reports:
-                if not report.accepted:
-                    ctx.emit_rejected(
-                        report.branch_pc,
-                        f"loop:{report.reject_reason}",
-                    )
+        for report in state.loop_reports:
+            if not report.accepted:
+                ctx.emit_rejected(
+                    report.branch_pc,
+                    f"loop:{report.reject_reason}",
+                    rule=report.reject_reason,
+                )

@@ -134,7 +134,7 @@ def format_spec(config):
 
 
 def context_for_config(program, profile, config, two_d_profile=None,
-                       tracer=None, manager=None):
+                       tracer=None, manager=None, ledger=None):
     """Build the :class:`CompileContext` a config implies.
 
     The analysis comes from ``manager`` (default: the process-wide
@@ -158,6 +158,7 @@ def context_for_config(program, profile, config, two_d_profile=None,
         min_misp_rate=config.min_misp_rate,
         two_d_profile=two_d_profile,
         tracer=tracer if tracer is not None else get_tracer(),
+        ledger=ledger,
     )
 
 
@@ -173,6 +174,7 @@ class Pipeline:
         metrics = get_metrics()
         if state is None:
             state = SelectionState(BinaryAnnotation(ctx.program.name))
+        state.ledger = ctx.ledger
         tracing = ctx.tracer is not None and ctx.tracer.enabled
         for index, pipeline_pass in enumerate(self.passes):
             if tracing:
@@ -181,9 +183,13 @@ class Pipeline:
                     pass_name=pipeline_pass.name,
                     index=index,
                 ))
+            ctx.current_pass = pipeline_pass.name
             start = time.perf_counter()
-            with phase(f"compile.{pipeline_pass.name}"):
-                pipeline_pass.run(ctx, state)
+            try:
+                with phase(f"compile.{pipeline_pass.name}"):
+                    pipeline_pass.run(ctx, state)
+            finally:
+                ctx.current_pass = ""
             metrics.counter("pipeline_pass_runs_total").inc()
             if tracing:
                 ctx.tracer.emit(CompilePassEnd(
@@ -246,10 +252,11 @@ class PipelineBuilder:
 
 
 def run_selection_pipeline(program, profile, config, two_d_profile=None,
-                           tracer=None, manager=None):
+                           tracer=None, manager=None, ledger=None):
     """One-call compile: config → pipeline → final selection state."""
     ctx = context_for_config(
         program, profile, config,
         two_d_profile=two_d_profile, tracer=tracer, manager=manager,
+        ledger=ledger,
     )
     return PipelineBuilder.from_config(config).build().run(ctx)

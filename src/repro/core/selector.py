@@ -115,12 +115,15 @@ class DivergeSelector:
     """
 
     def __init__(self, program, profile, config=None, two_d_profile=None,
-                 tracer=None, analysis_manager=None):
+                 tracer=None, analysis_manager=None, ledger=None):
         from repro.compiler.analysis_manager import shared_manager
 
         self.program = program
         self.profile = profile
         self.config = config or SelectionConfig()
+        #: Optional :class:`repro.obs.ledger.SelectionLedger`; every
+        #: pass verdict (accept/reject + cost numbers) lands here.
+        self.ledger = ledger
         #: Optional §8.3 extension: a
         #: :class:`repro.profiling.two_d.TwoDProfile`; when present,
         #: always-easy branches (easy *and* phase-stable) are dropped
@@ -149,6 +152,7 @@ class DivergeSelector:
             two_d_profile=self.two_d_profile,
             tracer=self.tracer,
             manager=self._manager,
+            ledger=self.ledger,
         )
         self.cost_reports = state.cost_reports
         self.loop_reports = state.loop_reports

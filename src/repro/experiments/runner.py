@@ -191,11 +191,17 @@ def run_baseline(name, input_set="reduced", scale=1.0, config=None):
 
 
 def run_annotated(name, annotation, input_set="reduced", scale=1.0,
-                  config=None, label=""):
-    """Simulate DMP with a prepared annotation on one benchmark."""
+                  config=None, label="", ledger=None):
+    """Simulate DMP with a prepared annotation on one benchmark.
+
+    ``ledger`` is an optional
+    :class:`~repro.obs.ledger.RuntimeLedger` receiving the run's
+    per-branch episode outcome counters.
+    """
     artifacts = get_artifacts(name, input_set, scale)
     simulator = TimingSimulator(
-        artifacts.program, config=config, annotation=annotation
+        artifacts.program, config=config, annotation=annotation,
+        ledger=ledger,
     )
     with phase("simulate") as ph:
         stats = simulator.run(
@@ -206,18 +212,23 @@ def run_annotated(name, annotation, input_set="reduced", scale=1.0,
 
 
 def run_selection(name, selection_config, input_set="reduced",
-                  profile_input_set=None, scale=1.0, config=None):
+                  profile_input_set=None, scale=1.0, config=None,
+                  selection_ledger=None, runtime_ledger=None):
     """Profile → select → simulate for one benchmark.
 
     ``profile_input_set`` lets the §7.3 experiments profile on one input
     set while running on another; it defaults to the run input set.
-    Returns ``(stats, annotation)``.
+    ``selection_ledger`` / ``runtime_ledger`` are the optional decision
+    ledgers (:mod:`repro.obs.ledger`) recording compile-time verdicts
+    and runtime outcomes for ``explain``.  Returns
+    ``(stats, annotation)``.
     """
     profile_set = profile_input_set or input_set
     run_artifacts = get_artifacts(name, input_set, scale)
     profile_artifacts = get_artifacts(name, profile_set, scale)
     selector = DivergeSelector(
-        run_artifacts.program, profile_artifacts.profile, selection_config
+        run_artifacts.program, profile_artifacts.profile,
+        selection_config, ledger=selection_ledger,
     )
     with phase("select") as ph:
         annotation = selector.select()
@@ -229,6 +240,7 @@ def run_selection(name, selection_config, input_set="reduced",
         scale=scale,
         config=config,
         label=f"{name}/{selection_config.name}",
+        ledger=runtime_ledger,
     )
     return stats, annotation
 

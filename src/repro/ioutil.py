@@ -1,0 +1,16 @@
+"""Small filesystem helpers shared by the CLIs."""
+
+import os
+
+
+def ensure_parent(path):
+    """Create ``path``'s parent directory if missing; returns ``path``.
+
+    Every CLI output flag (``--trace``, ``--metrics``, ``--manifest``,
+    ``-o``) goes through here so ``results/deep/nested/out.json`` works
+    without a manual ``mkdir -p`` first.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return path

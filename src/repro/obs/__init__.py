@@ -11,7 +11,10 @@ The package has five pieces:
   (trace → profile → select → simulate) with events/sec throughput;
 - :mod:`repro.obs.manifest` — the per-run JSON manifest;
 - :mod:`repro.obs.trace_report` — offline trace summarization
-  (``python -m repro trace-report``).
+  (``python -m repro trace-report``);
+- :mod:`repro.obs.ledger` + :mod:`repro.obs.explain` — the decision
+  ledger joining compile-time selection verdicts with runtime dpred
+  outcomes (``python -m repro explain``).
 
 :mod:`repro.obs.context` holds the active tracer/registry/profile so
 the CLI can enable telemetry without threading arguments through every
@@ -34,7 +37,26 @@ from repro.obs.manifest import (
     read_manifest,
     write_manifest,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.explain import (
+    build_explain,
+    cell_ledger_summary,
+    format_explain,
+    join_ledgers,
+    validate_explain,
+)
+from repro.obs.ledger import (
+    RUNTIME_COUNTERS,
+    RuntimeLedger,
+    SelectionDecision,
+    SelectionLedger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_openmetrics,
+)
 from repro.obs.timers import PhaseProfile, phase
 from repro.obs.trace_report import format_trace_report, summarize_trace
 from repro.obs.tracer import (
@@ -61,10 +83,20 @@ __all__ = [
     "git_revision",
     "read_manifest",
     "write_manifest",
+    "build_explain",
+    "cell_ledger_summary",
+    "format_explain",
+    "join_ledgers",
+    "validate_explain",
+    "RUNTIME_COUNTERS",
+    "RuntimeLedger",
+    "SelectionDecision",
+    "SelectionLedger",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "parse_openmetrics",
     "PhaseProfile",
     "phase",
     "format_trace_report",

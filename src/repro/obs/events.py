@@ -37,6 +37,9 @@ class DpredEpisodeStart:
     cycle: int
     mispredicted: bool        # True => this episode avoids a flush
     wrong_path_insts: int
+    #: Select-µops charged at entry (loop episodes; hammocks charge
+    #: theirs at the merge event instead).
+    select_uops: int = 0
 
 
 @event
@@ -74,6 +77,21 @@ class DpredEpisodeFlush:
     duration_cycles: int
     flushed_by_pc: int
     source: str               # "branch-mispredict" | "return-mispredict"
+
+
+@event
+@dataclass(frozen=True)
+class DpredEpisodeExtend:
+    """A later instance of a predicated loop branch extended the episode.
+
+    The over-iteration (late-exit) misprediction is covered: one more
+    flush avoided, ``extra_insts`` more NOPped iterations fetched.
+    """
+
+    type: ClassVar[str] = "dpred.episode.extend"
+    branch_pc: int
+    cycle: int
+    extra_insts: int
 
 
 # -- compile-time selection --------------------------------------------------
@@ -194,6 +212,12 @@ class SimRunEnd:
     pipeline_flushes: int
     dpred_episodes: int
     dpred_episodes_merged: int
+    # Extra totals for trace-driven ledger reconciliation; default 0
+    # so logs written by older builds still read back.
+    mispredictions: int = 0
+    dpred_flushes_avoided: int = 0
+    dpred_wrong_path_insts: int = 0
+    dpred_select_uops: int = 0
 
 
 # -- campaigns ---------------------------------------------------------------

@@ -78,8 +78,9 @@ def build_manifest(command, *, args=None, benchmarks=None, scale=None,
 
 def write_manifest(path, manifest):
     """Write ``manifest`` as indented JSON; returns ``path``."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
+    from repro.ioutil import ensure_parent
+
+    ensure_parent(path)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=False)
         handle.write("\n")

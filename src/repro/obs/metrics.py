@@ -15,8 +15,9 @@ JSON-ready snapshot (the run manifest embeds one), and
 """
 
 import json
-import os
 from bisect import bisect_left
+
+from repro.ioutil import ensure_parent
 
 
 class Counter:
@@ -225,8 +226,141 @@ class MetricsRegistry:
 
     def write_json(self, path):
         """Dump :meth:`as_dict` to ``path``; returns the path."""
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        ensure_parent(path)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         return path
+
+    def render_openmetrics(self):
+        """The registry as OpenMetrics text exposition.
+
+        Counter names follow the registry's ``*_total`` convention; the
+        family name drops the suffix and the sample restores it, so a
+        scraper and :func:`parse_openmetrics` both see the registry
+        name.  Histogram buckets are cumulative with inclusive upper
+        bounds rendered as ``le=`` labels, plus the ``+Inf`` bucket,
+        ``_count`` and ``_sum`` samples.  Ends with ``# EOF``.
+        """
+        lines = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            kind = instrument.kind
+            if kind == "counter":
+                family = (
+                    name[: -len("_total")]
+                    if name.endswith("_total") else name
+                )
+            else:
+                family = name
+            lines.append(f"# TYPE {family} {kind}")
+            if instrument.help:
+                lines.append(f"# HELP {family} {instrument.help}")
+            if kind == "counter":
+                lines.append(f"{family}_total {instrument.value}")
+            elif kind == "gauge":
+                lines.append(f"{family} {instrument.value}")
+            else:
+                cumulative = 0
+                for bound, count in zip(instrument.bounds,
+                                        instrument.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{family}_bucket{{le="{bound}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{family}_bucket{{le="+Inf"}} {instrument.total}'
+                )
+                lines.append(f"{family}_count {instrument.total}")
+                lines.append(f"{family}_sum {instrument.sum}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def write_openmetrics(self, path):
+        """Dump :meth:`render_openmetrics` to ``path``; returns the path."""
+        ensure_parent(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render_openmetrics())
+        return path
+
+
+def _parse_number(text):
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def parse_openmetrics(text):
+    """Parse :meth:`MetricsRegistry.render_openmetrics` output.
+
+    Returns a snapshot dict shaped like
+    :meth:`MetricsRegistry.as_dict`, suitable for
+    :meth:`MetricsRegistry.merge_snapshot` — the round-trip test pins
+    ``merge_snapshot(parse_openmetrics(render_openmetrics()))`` as an
+    exact identity.
+    """
+    kinds = {}
+    raw = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            kinds[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        sample, _, value = line.rpartition(" ")
+        name, label = sample, None
+        if "{" in sample:
+            name, _, label_part = sample.partition("{")
+            label = label_part.rstrip("}").partition("=")[2].strip('"')
+        raw.setdefault(name, []).append((label, value))
+
+    snapshot = {}
+    for family, kind in kinds.items():
+        if kind == "counter":
+            samples = raw.get(f"{family}_total", [])
+            snapshot[f"{family}_total"] = {
+                "kind": "counter",
+                "value": _parse_number(samples[0][1]) if samples else 0,
+            }
+        elif kind == "gauge":
+            samples = raw.get(family, [])
+            snapshot[family] = {
+                "kind": "gauge",
+                "value": _parse_number(samples[0][1]) if samples else 0,
+            }
+        elif kind == "histogram":
+            buckets = {}
+            previous = 0
+            total = 0
+            for label, value in raw.get(f"{family}_bucket", []):
+                cumulative = _parse_number(value)
+                if label == "+Inf":
+                    total = cumulative
+                    continue
+                buckets[label] = cumulative - previous
+                previous = cumulative
+            count_samples = raw.get(f"{family}_count", [])
+            if count_samples:
+                total = _parse_number(count_samples[0][1])
+            sum_samples = raw.get(f"{family}_sum", [])
+            total_sum = (
+                float(sum_samples[0][1]) if sum_samples else 0.0
+            )
+            overflow = total - previous
+            snapshot[family] = {
+                "kind": "histogram",
+                "buckets": buckets,
+                "overflow": overflow,
+                "count": total,
+                "sum": total_sum,
+                "mean": (total_sum / total) if total else 0.0,
+            }
+        else:
+            raise ValueError(
+                f"unknown OpenMetrics type {kind!r} for {family!r}"
+            )
+    return snapshot

@@ -27,6 +27,7 @@ def summarize_trace(path):
     runs = []
     phases = {}
     total = 0
+    corrupt = []
 
     def branch_entry(pc):
         entry = branches.get(pc)
@@ -42,7 +43,9 @@ def summarize_trace(path):
             }
         return entry
 
-    for record in iter_records(path):
+    # Torn-tail tolerant: a crash mid-write truncates the final line;
+    # everything durably written before it still summarizes.
+    for record in iter_records(path, strict=False, corrupt=corrupt):
         total += 1
         kind = record.get("type", "unknown")
         by_type[kind] += 1
@@ -60,6 +63,10 @@ def summarize_trace(path):
             branch_entry(record["branch_pc"])["unmerged"] += 1
         elif kind == "dpred.episode.flush":
             branch_entry(record["branch_pc"])["flushed"] += 1
+        elif kind == "dpred.episode.extend":
+            entry = branch_entry(record["branch_pc"])
+            entry["flushes_avoided"] += 1
+            entry["wrong_path_insts"] += record.get("extra_insts", 0)
         elif kind == "uarch.pipeline.flush":
             flush_sources[(record["pc"], record.get("source", ""))] += 1
         elif kind == "select.branch.selected":
@@ -110,6 +117,7 @@ def summarize_trace(path):
     return {
         "path": path,
         "total_events": total,
+        "corrupt_lines": len(corrupt),
         "by_type": dict(sorted(by_type.items())),
         "branches": branches,
         "flush_sources": flush_sources,
@@ -126,6 +134,11 @@ def format_trace_report(summary, top=10):
         f"trace report: {summary['path']}",
         f"  events: {summary['total_events']}",
     ]
+    if summary.get("corrupt_lines"):
+        lines.append(
+            f"  WARNING: skipped {summary['corrupt_lines']} corrupt "
+            f"line(s) — torn tail from a crash?"
+        )
     for kind, count in summary["by_type"].items():
         lines.append(f"    {kind:<28} {count}")
 

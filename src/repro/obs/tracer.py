@@ -13,8 +13,8 @@ log back as typed events / raw dicts.
 """
 
 import json
-import os
 
+from repro.ioutil import ensure_parent
 from repro.obs.events import from_record, to_record
 
 
@@ -66,8 +66,7 @@ class JsonlSink:
             self._owns_handle = False
             self.path = getattr(path_or_file, "name", None)
         else:
-            directory = os.path.dirname(os.path.abspath(path_or_file))
-            os.makedirs(directory, exist_ok=True)
+            ensure_parent(path_or_file)
             self._handle = open(path_or_file, "w", encoding="utf-8")
             self._owns_handle = True
             self.path = path_or_file
@@ -104,8 +103,17 @@ def jsonl_tracer(path):
     return Tracer(JsonlSink(path))
 
 
-def iter_records(path):
-    """Yield raw record dicts from a JSONL trace log."""
+def iter_records(path, strict=True, corrupt=None):
+    """Yield raw record dicts from a JSONL trace log.
+
+    With ``strict=True`` (the default) a malformed line raises
+    :class:`ValueError` with the path and line number.  With
+    ``strict=False`` the bad line is skipped — matching the campaign
+    journal's torn-tail contract, since a crash mid-write legitimately
+    truncates the final line — and, when ``corrupt`` is a list, a
+    ``(line_number, message)`` pair is appended per skipped line so
+    consumers can surface a warning.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
             line = line.strip()
@@ -114,9 +122,12 @@ def iter_records(path):
             try:
                 yield json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_number}: bad trace record: {exc}"
-                ) from exc
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad trace record: {exc}"
+                    ) from exc
+                if corrupt is not None:
+                    corrupt.append((line_number, str(exc)))
 
 
 def read_events(path):

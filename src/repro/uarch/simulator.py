@@ -120,15 +120,22 @@ class TimingSimulator:
         A :class:`repro.obs.metrics.MetricsRegistry`; always on.
         Per-run totals and per-episode histograms are recorded here
         (never per-instruction work).
+    ledger:
+        A :class:`repro.obs.ledger.RuntimeLedger`, or ``None`` (the
+        default — zero overhead).  When present, per-pc episode
+        outcome counters are collected and folded in once per run via
+        :meth:`~repro.obs.ledger.RuntimeLedger.record_run`.
     """
 
     def __init__(self, program, config=None, annotation=None,
-                 collect_per_branch=False, tracer=None, metrics=None):
+                 collect_per_branch=False, tracer=None, metrics=None,
+                 ledger=None):
         self.program = program
         self.config = (config or ProcessorConfig()).validate()
         self.annotation = annotation
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = metrics if metrics is not None else get_metrics()
+        self.ledger = ledger
         self._hist_episode_cycles = self.metrics.histogram(
             "dpred_episode_cycles", EPISODE_CYCLE_BUCKETS,
             help="dpred episode length in cycles",
@@ -241,13 +248,21 @@ class TimingSimulator:
 
         episode = None
 
-        per_branch = {} if self.collect_per_branch else None
+        ledger = self.ledger
+        per_branch = (
+            {} if (self.collect_per_branch or ledger is not None)
+            else None
+        )
 
         def branch_counters(pc):
             counters = per_branch.get(pc)
             if counters is None:
-                # [executions, mispredictions, episodes, avoided, flushes]
-                counters = [0, 0, 0, 0, 0]
+                # Slot order matches repro.obs.ledger.RUNTIME_COUNTERS:
+                # [0 executions, 1 mispredictions, 2 episodes,
+                #  3 flushes_avoided, 4 flushes, 5 merged, 6 unmerged,
+                #  7 squashed, 8 wrong_path_insts, 9 select_uops,
+                #  10 episode_cycles]
+                counters = [0] * 11
                 per_branch[pc] = counters
             return counters
 
@@ -300,6 +315,10 @@ class TimingSimulator:
             episode = None
             cycle = max(cycle, ep.resolve)
             hist_episode_cycles.observe(max(0, ep.resolve - ep.start_cycle))
+            if per_branch is not None:
+                counters = branch_counters(ep.branch_pc)
+                counters[6] += 1
+                counters[10] += max(0, ep.resolve - ep.start_cycle)
             if traced:
                 tracer.emit(obs_events.DpredEpisodeEnd(
                     branch_pc=ep.branch_pc,
@@ -331,6 +350,11 @@ class TimingSimulator:
             cycle = max(cycle, merge_cycle)
             stats.dpred_episodes_merged += 1
             hist_episode_cycles.observe(max(0, merge_cycle - ep.start_cycle))
+            if per_branch is not None:
+                counters = branch_counters(ep.branch_pc)
+                counters[5] += 1
+                counters[9] += ep.num_selects
+                counters[10] += max(0, merge_cycle - ep.start_cycle)
             if traced:
                 tracer.emit(obs_events.DpredEpisodeMerge(
                     branch_pc=ep.branch_pc,
@@ -456,6 +480,10 @@ class TimingSimulator:
                             entered = self._enter_loop_episode(
                                 stats, diverge, predicted, taken,
                                 fetch_cycle, resolve, expected_remaining,
+                                counters=(
+                                    branch_counters(pc)
+                                    if per_branch is not None else None
+                                ),
                             )
                             if entered:
                                 episode = self._loop_episode
@@ -468,11 +496,15 @@ class TimingSimulator:
                 if entered:
                     ep = episode
                     if per_branch is not None:
-                        branch_counters(pc)[2] += 1
+                        counters = branch_counters(pc)
+                        counters[2] += 1
+                        counters[8] += ep.false_insts
+                        if ep.kind == "loop":
+                            counters[9] += ep.num_selects
                     if ep.mispredicted:
                         stats.dpred_flushes_avoided += 1
                         if per_branch is not None:
-                            branch_counters(pc)[3] += 1
+                            counters[3] += 1
                     # The wrong path occupies the instruction window for
                     # the whole episode (it retires as NOPs only after
                     # the diverge branch resolves) — this is what makes
@@ -500,14 +532,20 @@ class TimingSimulator:
                     # they do consume fetch bandwidth and ROB space
                     # until the branch resolves.
                     stats.dpred_flushes_avoided += 1
-                    if per_branch is not None:
-                        branch_counters(pc)[3] += 1
                     episode.resolve = max(episode.resolve, resolve)
                     episode.half_width = True
                     extra = min(
                         max(1, diverge.loop_body_size) * 2,
                         self.config.dpred_max_wrong_path_insts,
                     )
+                    if per_branch is not None:
+                        counters = branch_counters(pc)
+                        counters[3] += 1
+                        counters[8] += extra
+                    if traced:
+                        tracer.emit(obs_events.DpredEpisodeExtend(
+                            branch_pc=pc, cycle=cycle, extra_insts=extra,
+                        ))
                     episode.false_insts += extra
                     stats.dpred_wrong_path_insts += extra
                     for _ in range(extra):
@@ -523,6 +561,11 @@ class TimingSimulator:
                         # flushes and squashes the episode.
                         hist_episode_cycles.observe(
                             max(0, cycle - episode.start_cycle))
+                        if per_branch is not None:
+                            counters = branch_counters(episode.branch_pc)
+                            counters[7] += 1
+                            counters[10] += max(
+                                0, cycle - episode.start_cycle)
                         if traced:
                             tracer.emit(obs_events.DpredEpisodeFlush(
                                 branch_pc=episode.branch_pc,
@@ -567,6 +610,12 @@ class TimingSimulator:
                 correct = self.ras.pop_predict(next_pc)
                 if not correct:
                     stats.pipeline_flushes += 1
+                    if per_branch is not None:
+                        # Attributed to the return pc; the per-branch
+                        # snapshot in SimStats only emits conditional
+                        # branches (executions > 0), so this feeds the
+                        # ledger without changing the coverage report.
+                        branch_counters(pc)[4] += 1
                     if traced:
                         tracer.emit(obs_events.PipelineFlush(
                             pc=pc, cycle=cycle,
@@ -575,6 +624,11 @@ class TimingSimulator:
                     if episode is not None:
                         hist_episode_cycles.observe(
                             max(0, cycle - episode.start_cycle))
+                        if per_branch is not None:
+                            counters = branch_counters(episode.branch_pc)
+                            counters[7] += 1
+                            counters[10] += max(
+                                0, cycle - episode.start_cycle)
                         if traced:
                             tracer.emit(obs_events.DpredEpisodeFlush(
                                 branch_pc=episode.branch_pc,
@@ -599,7 +653,11 @@ class TimingSimulator:
         stats.cycles = max(last_retire_cycle, last_complete, cycle)
         stats.dcache_misses = self.memory.dcache.misses
         stats.l2_misses = self.memory.l2.misses
-        if per_branch is not None:
+        if self.collect_per_branch:
+            # The coverage-report snapshot keeps its original shape:
+            # conditional branches only (executions > 0 — return pcs
+            # accrue flushes for the ledger but never execute as
+            # branches) with the legacy five keys.
             stats.per_branch = {
                 pc: {
                     "executions": c[0],
@@ -609,7 +667,10 @@ class TimingSimulator:
                     "flushes": c[4],
                 }
                 for pc, c in per_branch.items()
+                if c[0]
             }
+        if ledger is not None:
+            ledger.record_run(label, per_branch, stats)
         self._record_run_metrics(stats)
         if traced:
             tracer.emit(obs_events.SimRunEnd(
@@ -619,6 +680,10 @@ class TimingSimulator:
                 pipeline_flushes=stats.pipeline_flushes,
                 dpred_episodes=stats.dpred_episodes,
                 dpred_episodes_merged=stats.dpred_episodes_merged,
+                mispredictions=stats.mispredictions,
+                dpred_flushes_avoided=stats.dpred_flushes_avoided,
+                dpred_wrong_path_insts=stats.dpred_wrong_path_insts,
+                dpred_select_uops=stats.dpred_select_uops,
             ))
         return stats
 
@@ -700,11 +765,15 @@ class TimingSimulator:
         return episode
 
     def _enter_loop_episode(self, stats, diverge, predicted, taken,
-                            fetch_cycle, resolve, expected_remaining):
+                            fetch_cycle, resolve, expected_remaining,
+                            counters=None):
         """Handle a low-confidence diverge loop branch instance.
 
         Returns True when an episode object was installed (stored on
-        ``self._loop_episode`` for the caller to pick up).
+        ``self._loop_episode`` for the caller to pick up).  ``counters``
+        is the pc's per-branch ledger slot list; the early-exit path
+        (episode counted but dead on arrival) attributes here because
+        the caller never sees an episode object for it.
         """
         cfg = self.config
         continue_dir = diverge.loop_direction
@@ -749,6 +818,10 @@ class TimingSimulator:
             # episode so the caller's normal misprediction path runs,
             # but still charge the select overhead.
             stats.dpred_select_uops += episode.num_selects
+            if counters is not None:
+                counters[2] += 1
+                counters[6] += 1
+                counters[9] += episode.num_selects
             self._hist_wrong_path.observe(0)
             if self.tracer.enabled:
                 # The episode is counted (stats.dpred_episodes above)
@@ -757,6 +830,7 @@ class TimingSimulator:
                     branch_pc=episode.branch_pc, kind="loop",
                     cycle=fetch_cycle, mispredicted=False,
                     wrong_path_insts=0,
+                    select_uops=episode.num_selects,
                 ))
                 self.tracer.emit(obs_events.DpredEpisodeEnd(
                     branch_pc=episode.branch_pc, cycle=fetch_cycle,
@@ -775,6 +849,7 @@ class TimingSimulator:
                 branch_pc=episode.branch_pc, kind="loop",
                 cycle=fetch_cycle, mispredicted=episode.mispredicted,
                 wrong_path_insts=episode.false_insts,
+                select_uops=episode.num_selects,
             ))
         self._loop_episode = episode
         return True
