@@ -37,6 +37,12 @@ Decision ledger (see ``docs/observability.md``)::
     python -m repro explain mcf --config All-best-cost
     python -m repro explain mcf --branch 137
     python -m repro explain mcf --json -o results/explain_mcf.json
+
+Simulator cost profile (see ``docs/observability.md``)::
+
+    python -m repro profile gzip --scale 0.5
+    python -m repro profile gzip --folded -o gzip.folded
+    python -m repro profile gzip --json -o results/profile_gzip.json
 """
 
 import argparse
@@ -98,6 +104,10 @@ def main(argv=None):
         from repro.obs.explain import main as explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.obs.profile_cli import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -111,6 +111,11 @@ def _build_parser():
         help="append the per-cell decision-ledger section "
              "(estimate-vs-observed; journaled by each cell)",
     )
+    report.add_argument(
+        "--resources", action="store_true",
+        help="append the per-cell worker CPU time and peak RSS "
+             "section (getrusage; journaled by each cell)",
+    )
     report.set_defaults(handler=_cmd_report)
     return parser
 
@@ -234,9 +239,12 @@ def _cmd_report(parser, args):
         parser.error(f"no campaign spec at {spec_path}")
     spec = CampaignSpec.load(spec_path)
     state = replay(os.path.join(directory, JOURNAL_NAME))
-    print(render_report(spec, state.results,
-                        quarantined=state.quarantined,
-                        ledgers=state.ledger if args.explain else None))
+    print(render_report(
+        spec, state.results,
+        quarantined=state.quarantined,
+        ledgers=state.ledger if args.explain else None,
+        resources=state.resources if args.resources else None,
+    ))
     return 0
 
 

@@ -71,7 +71,7 @@ class Journal:
         })
 
     def cell_finish(self, cell_id, attempt, seconds, result, cache=None,
-                    ledger=None):
+                    ledger=None, resources=None):
         record = {
             "type": "cell.finish", "cell_id": cell_id,
             "attempt": attempt, "seconds": seconds,
@@ -88,6 +88,11 @@ class Journal:
             # counters, an annotation — the base ``report`` ignores it,
             # ``report --explain`` renders it.
             record["ledger"] = ledger
+        if resources is not None:
+            # Worker-process CPU time and peak RSS (getrusage) — again
+            # an annotation: the base ``report`` stays byte-identical,
+            # ``report --resources`` renders it.
+            record["resources"] = resources
         return self.append(record)
 
     def cell_fail(self, cell_id, attempt, kind, error, seconds):
@@ -121,6 +126,9 @@ class JournalState:
     #: cell_id -> decision-ledger summary of the successful attempt
     #: (when recorded; rendered by ``campaign report --explain``).
     ledger: dict = field(default_factory=dict)
+    #: cell_id -> worker CPU/RSS usage of the successful attempt
+    #: (when recorded; rendered by ``campaign report --resources``).
+    resources: dict = field(default_factory=dict)
     quarantined: set = field(default_factory=set)
     #: cell_ids with a start but (yet) no finish/fail — in-flight when
     #: the previous session died; they count as pending on resume.
@@ -191,6 +199,8 @@ def _apply(state, record):
             state.cache.setdefault(cell_id, record["cache"])
         if "ledger" in record:
             state.ledger.setdefault(cell_id, record["ledger"])
+        if "resources" in record:
+            state.resources.setdefault(cell_id, record["resources"])
     elif kind == "cell.fail":
         state.in_flight.discard(cell_id)
         state.failures[cell_id] = state.failures.get(cell_id, 0) + 1

@@ -105,12 +105,14 @@ def render_status(spec, state, directory=None):
     return "\n".join(lines)
 
 
-def render_report(spec, results, quarantined=(), ledgers=None):
+def render_report(spec, results, quarantined=(), ledgers=None,
+                  resources=None):
     """The deterministic scientific report (see module docstring).
 
     ``ledgers`` (cell_id -> journaled decision-ledger summary) adds the
-    ``--explain`` section; it is an *annotation* — the base sections
-    render identically with or without it.
+    ``--explain`` section; ``resources`` (cell_id -> journaled
+    CPU/RSS usage) adds the ``--resources`` section.  Both are
+    *annotations* — the base sections render identically without them.
     """
     cells = spec.cells()
     sections = [_render_header(spec, cells, results, quarantined)]
@@ -121,6 +123,8 @@ def render_report(spec, results, quarantined=(), ledgers=None):
         sections.append(_render_sensitivity(spec, results))
     if ledgers is not None:
         sections.append(_render_explain(spec, cells, ledgers))
+    if resources is not None:
+        sections.append(_render_resources(spec, cells, resources))
     return "\n\n".join(sections)
 
 
@@ -229,6 +233,45 @@ def _render_explain(spec, cells, ledgers):
         f"\n{journaled}/{len(cells)} cells journaled a ledger; "
         f"{misestimated_cells} carry mis-estimated branches "
         f"(run `python -m repro explain <benchmark>` to drill in)"
+    )
+    return table
+
+
+def _render_resources(spec, cells, resources):
+    """Per-cell worker CPU time and peak RSS (``report --resources``)."""
+    headers = ["cell", "benchmark", "user s", "sys s", "cpu s",
+               "max RSS MB"]
+    rows = []
+    total_cpu = 0.0
+    peak_rss_kb = 0
+    for cell in cells:
+        entry = resources.get(cell.cell_id)
+        if entry is None:
+            rows.append([cell.cell_id, cell.benchmark]
+                        + [GAP] * (len(headers) - 2))
+            continue
+        user = entry.get("user_seconds", 0.0)
+        system = entry.get("system_seconds", 0.0)
+        rss_kb = entry.get("max_rss_kb", 0)
+        total_cpu += user + system
+        peak_rss_kb = max(peak_rss_kb, rss_kb)
+        rows.append([
+            cell.cell_id,
+            cell.benchmark,
+            f"{user:.2f}",
+            f"{system:.2f}",
+            f"{user + system:.2f}",
+            f"{rss_kb / 1024.0:.1f}",
+        ])
+    table = render_table(
+        headers, rows,
+        title="Worker resources (getrusage, per successful attempt)",
+    )
+    journaled = sum(1 for cell in cells if cell.cell_id in resources)
+    table += (
+        f"\n{journaled}/{len(cells)} cells journaled usage; "
+        f"total CPU {total_cpu:.2f}s, peak worker RSS "
+        f"{peak_rss_kb / 1024.0:.1f} MB"
     )
     return table
 

@@ -57,6 +57,26 @@ def _analysis_cache_stats(metrics_snapshot):
     }
 
 
+def _cell_usage():
+    """CPU time and peak RSS of this worker process, for the journal.
+
+    Meaningful per cell because every attempt runs in its own forked
+    process (``RUSAGE_SELF`` covers exactly this cell's work plus the
+    negligible fork preamble).  Returns None on platforms without
+    :mod:`resource`.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — POSIX-only module
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "user_seconds": round(usage.ru_utime, 6),
+        "system_seconds": round(usage.ru_stime, 6),
+        "max_rss_kb": int(usage.ru_maxrss),
+    }
+
+
 def _cell_worker(conn, fn, params):
     """Run one cell under fresh telemetry; ship outcome over the pipe."""
     from repro.obs.context import telemetry
@@ -71,6 +91,8 @@ def _cell_worker(conn, fn, params):
             "result": result,
             "metrics": registry.as_dict(),
             "phases": phases.as_dict(),
+            "spans": phases.spans_as_dict(),
+            "resources": _cell_usage(),
         }
     except BaseException as exc:  # noqa: BLE001 — must reach the parent
         payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -272,7 +294,13 @@ class Scheduler:
         cell_id = task.cell.cell_id
         if payload is not None and payload.get("ok"):
             get_metrics().merge_snapshot(payload["metrics"])
-            get_phases().merge_snapshot(payload["phases"])
+            spans_snapshot = payload.get("spans")
+            if spans_snapshot is not None:
+                # Full hierarchical snapshot; the flat phase view
+                # follows from it (merging both would double count).
+                get_phases().merge_spans(spans_snapshot)
+            else:
+                get_phases().merge_snapshot(payload["phases"])
             result = payload["result"]
             # The ledger summary is a journal *annotation* (like the
             # cache counters), not part of the deterministic report
@@ -286,6 +314,7 @@ class Scheduler:
                 cell_id, task.attempt, elapsed, result,
                 cache=_analysis_cache_stats(payload["metrics"]),
                 ledger=ledger_summary,
+                resources=payload.get("resources"),
             )
             get_metrics().counter("campaign_cells_completed_total").inc()
             tracer = get_tracer()

@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.obs.context import get_metrics, get_phases, telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span
 from repro.obs.timers import PhaseProfile
 
 
@@ -85,12 +86,20 @@ def resolve_jobs(jobs):
 
 
 def _run_job(fn, args):
-    """Worker-side wrapper: isolate telemetry and ship snapshots back."""
+    """Worker-side wrapper: isolate telemetry and ship snapshots back.
+
+    The full hierarchical span snapshot travels back (not the flat
+    phase view): merging it into the parent's span tree carries nested
+    spans across the process boundary, and the parent's
+    :class:`PhaseProfile` — a depth-1 view over that tree — follows
+    automatically without double counting.
+    """
     registry = MetricsRegistry()
     phases = PhaseProfile()
     with telemetry(metrics=registry, phases=phases):
-        result = fn(*args)
-    return result, registry.as_dict(), phases.as_dict()
+        with span("cell"):
+            result = fn(*args)
+    return result, registry.as_dict(), phases.spans_as_dict()
 
 
 def execute(jobs_list, jobs=None):
@@ -113,7 +122,14 @@ def execute(jobs_list, jobs=None):
     planned = list(jobs_list)
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(planned) <= 1:
-        return [job.run() for job in planned]
+        results = []
+        for job in planned:
+            # Same ``cell`` span as the worker path, so serial and
+            # parallel runs produce structurally identical span trees
+            # (and serial ``--trace`` runs carry span.end events).
+            with span("cell"):
+                results.append(job.run())
+        return results
 
     metrics = get_metrics()
     phases = get_phases()
@@ -134,9 +150,9 @@ def execute(jobs_list, jobs=None):
                 future.cancel()
             raise
     results = []
-    for result, metrics_snapshot, phases_snapshot in payloads:
+    for result, metrics_snapshot, spans_snapshot in payloads:
         metrics.merge_snapshot(metrics_snapshot)
-        phases.merge_snapshot(phases_snapshot)
+        phases.merge_spans(spans_snapshot)
         results.append(result)
     return results
 

@@ -191,17 +191,19 @@ def run_baseline(name, input_set="reduced", scale=1.0, config=None):
 
 
 def run_annotated(name, annotation, input_set="reduced", scale=1.0,
-                  config=None, label="", ledger=None):
+                  config=None, label="", ledger=None, profiler=None):
     """Simulate DMP with a prepared annotation on one benchmark.
 
     ``ledger`` is an optional
     :class:`~repro.obs.ledger.RuntimeLedger` receiving the run's
-    per-branch episode outcome counters.
+    per-branch episode outcome counters; ``profiler`` an optional
+    :class:`~repro.uarch.SimProfiler` receiving per-component
+    simulator cost buckets.
     """
     artifacts = get_artifacts(name, input_set, scale)
     simulator = TimingSimulator(
         artifacts.program, config=config, annotation=annotation,
-        ledger=ledger,
+        ledger=ledger, profiler=profiler,
     )
     with phase("simulate") as ph:
         stats = simulator.run(
@@ -213,7 +215,8 @@ def run_annotated(name, annotation, input_set="reduced", scale=1.0,
 
 def run_selection(name, selection_config, input_set="reduced",
                   profile_input_set=None, scale=1.0, config=None,
-                  selection_ledger=None, runtime_ledger=None):
+                  selection_ledger=None, runtime_ledger=None,
+                  profiler=None):
     """Profile → select → simulate for one benchmark.
 
     ``profile_input_set`` lets the §7.3 experiments profile on one input
@@ -241,6 +244,7 @@ def run_selection(name, selection_config, input_set="reduced",
         config=config,
         label=f"{name}/{selection_config.name}",
         ledger=runtime_ledger,
+        profiler=profiler,
     )
     return stats, annotation
 

@@ -57,6 +57,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_openmetrics,
 )
+from repro.obs.spans import PATH_SEP, SpanHandle, SpanTree, span
 from repro.obs.timers import PhaseProfile, phase
 from repro.obs.trace_report import format_trace_report, summarize_trace
 from repro.obs.tracer import (
@@ -99,6 +100,10 @@ __all__ = [
     "parse_openmetrics",
     "PhaseProfile",
     "phase",
+    "PATH_SEP",
+    "SpanHandle",
+    "SpanTree",
+    "span",
     "format_trace_report",
     "summarize_trace",
     "NULL_TRACER",

@@ -282,6 +282,25 @@ class PhaseEnd:
     events: int
 
 
+@event
+@dataclass(frozen=True)
+class SpanEnd:
+    """A hierarchical timed span closed (see :mod:`repro.obs.spans`).
+
+    ``path`` is the ``"/"``-joined span path from the root (the parent
+    is everything before the last separator); ``self_seconds`` is the
+    cumulative ``seconds`` minus the children's cumulative time.
+    """
+
+    type: ClassVar[str] = "span.end"
+    name: str
+    path: str
+    depth: int
+    seconds: float
+    self_seconds: float
+    events: int = 0
+
+
 @dataclass(frozen=True)
 class GenericEvent:
     """Fallback for event types this build does not know about."""

@@ -1,0 +1,199 @@
+"""Hierarchical timed spans: where does the wall-clock go, by region?
+
+A *span* is a nestable timed region.  Spans form a tree: entering
+``span("simulate")`` inside ``span("fig6")`` records under the path
+``("fig6", "simulate")``.  Each path accumulates
+
+- ``seconds`` — cumulative wall-clock (the span and everything below);
+- ``self_seconds`` — cumulative minus the children's cumulative, i.e.
+  the time spent *in this region itself*;
+- ``events`` — an optional throughput count (instructions, rows, ...);
+- ``calls`` — how many times the path was entered.
+
+The flat :class:`~repro.obs.timers.PhaseProfile` is a depth-1 view
+over a :class:`SpanTree` — ``phase()`` keeps its exact old behaviour
+while nested spans carry the finer structure.  Closing a span mirrors
+``span_<dotted.path>_{seconds,calls}_total`` counters into the metrics
+registry and emits a :class:`~repro.obs.events.SpanEnd` trace event
+when tracing is on, so ``trace-report`` can rebuild the hotspot view
+offline.  Snapshots (:meth:`SpanTree.as_dict`) merge across ``--jobs
+N`` workers in plan order exactly like metrics snapshots do.
+
+Usage::
+
+    with span("simulate", events=len(trace)) as sp:
+        with span("fetch"):
+            ...
+        sp.events = stats.retired_instructions
+"""
+
+import time
+from contextlib import contextmanager
+
+#: Separator used in snapshot keys ("simulate/fetch") and SpanEnd paths.
+PATH_SEP = "/"
+
+
+class SpanHandle:
+    """Mutable box the ``with span(...)`` body fills in."""
+
+    __slots__ = ("name", "events", "child_seconds")
+
+    def __init__(self, name, events=0):
+        self.name = name
+        self.events = events
+        self.child_seconds = 0.0
+
+
+class SpanTree:
+    """Accumulated wall-clock per span path (tuple of names from root)."""
+
+    __slots__ = ("_entries", "_stack")
+
+    def __init__(self):
+        self._entries = {}
+        self._stack = []
+
+    def record(self, path, seconds, self_seconds=None, events=0, calls=1):
+        """Fold one completed span (or a merged aggregate) into ``path``.
+
+        ``self_seconds`` defaults to ``seconds`` — correct for leaf
+        spans and for flat phase records, which have no children.
+        """
+        path = tuple(path)
+        entry = self._entries.get(path)
+        if entry is None:
+            entry = self._entries[path] = {
+                "seconds": 0.0, "self_seconds": 0.0,
+                "events": 0, "calls": 0,
+            }
+        entry["seconds"] += seconds
+        entry["self_seconds"] += (
+            seconds if self_seconds is None else self_seconds
+        )
+        entry["events"] += events
+        entry["calls"] += calls
+        return entry
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, path):
+        return tuple(path) in self._entries
+
+    def get(self, path):
+        """The mutable entry dict for ``path``, or None."""
+        return self._entries.get(tuple(path))
+
+    def seconds(self, path):
+        entry = self._entries.get(tuple(path))
+        return entry["seconds"] if entry else 0.0
+
+    def self_seconds(self, path):
+        entry = self._entries.get(tuple(path))
+        return entry["self_seconds"] if entry else 0.0
+
+    def paths(self):
+        """All recorded paths, sorted (parents before children)."""
+        return sorted(self._entries)
+
+    def roots(self):
+        """The depth-1 span names, sorted (the PhaseProfile view)."""
+        return sorted(p[0] for p in self._entries if len(p) == 1)
+
+    def current_path(self, name=None):
+        """The active span path, optionally extended by ``name``."""
+        path = tuple(handle.name for handle in self._stack)
+        return path + (name,) if name is not None else path
+
+    def as_dict(self):
+        """JSON-ready snapshot keyed by ``"/"``-joined path."""
+        return {
+            PATH_SEP.join(path): dict(self._entries[path])
+            for path in sorted(self._entries)
+        }
+
+    def merge_snapshot(self, snapshot):
+        """Fold another tree's :meth:`as_dict` snapshot into this one.
+
+        Per-path addition, applied in the snapshot's own order — the
+        parallel engine calls this once per worker payload in plan
+        order, so parallel runs aggregate deterministically (sums per
+        path; ``seconds`` are total CPU-seconds across workers).
+        """
+        for key, entry in snapshot.items():
+            self.record(
+                tuple(key.split(PATH_SEP)),
+                entry.get("seconds", 0.0),
+                entry.get("self_seconds", entry.get("seconds", 0.0)),
+                entry.get("events", 0),
+                entry.get("calls", 0),
+            )
+        return self
+
+    def report(self):
+        """Human-readable indented tree, one line per path."""
+        paths = self.paths()
+        if not paths:
+            return "no spans recorded"
+        width = max(len("  " * (len(p) - 1) + p[-1]) for p in paths)
+        lines = ["span timings:"]
+        for path in paths:
+            entry = self._entries[path]
+            label = "  " * (len(path) - 1) + path[-1]
+            line = (
+                f"  {label.ljust(width)}  {entry['seconds']:8.3f}s"
+                f"  (self {entry['self_seconds']:8.3f}s)"
+                f"  x{entry['calls']}"
+            )
+            if entry["events"]:
+                line += f"  {entry['events']} events"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@contextmanager
+def span(name, events=0, tree=None, metrics=None, tracer=None):
+    """Time one nested region; see the module docstring for the contract.
+
+    ``tree``/``metrics``/``tracer`` default to the active telemetry
+    context (the tree lives on the context's phase profile).  The span
+    stack unwinds correctly when the body raises: the handle is popped
+    and the elapsed time recorded either way.
+    """
+    from repro.obs import context
+
+    tree = tree if tree is not None else context.get_phases().spans
+    metrics = metrics if metrics is not None else context.get_metrics()
+    tracer = tracer if tracer is not None else context.get_tracer()
+
+    handle = SpanHandle(name, events)
+    stack = tree._stack
+    path = tuple(h.name for h in stack) + (name,)
+    stack.append(handle)
+    start = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        elapsed = time.perf_counter() - start
+        stack.pop()
+        self_seconds = elapsed - handle.child_seconds
+        if self_seconds < 0.0:
+            self_seconds = 0.0
+        if stack:
+            stack[-1].child_seconds += elapsed
+        tree.record(path, elapsed, self_seconds, handle.events)
+        dotted = ".".join(path)
+        metrics.counter(f"span_{dotted}_seconds_total").inc(elapsed)
+        metrics.counter(f"span_{dotted}_calls_total").inc()
+        if tracer.enabled:
+            from repro.obs.events import SpanEnd
+
+            tracer.emit(SpanEnd(
+                name=name,
+                path=PATH_SEP.join(path),
+                depth=len(path),
+                seconds=elapsed,
+                self_seconds=self_seconds,
+                events=handle.events,
+            ))

@@ -8,6 +8,13 @@ a :class:`PhaseProfile`, mirrors both into the metrics registry, and
 emits a :class:`~repro.obs.events.PhaseEnd` trace event when tracing
 is on.
 
+Since the span refactor, :class:`PhaseProfile` is a *depth-1 view*
+over a hierarchical :class:`~repro.obs.spans.SpanTree` (exposed as
+``profile.spans``): ``phase()`` and :meth:`PhaseProfile.record` write
+flat depth-1 paths with unchanged snapshot/report shapes, while nested
+``span()`` regions share the same tree and travel with it through the
+parallel engine's snapshot merge.
+
 Usage::
 
     with phase("simulate") as ph:
@@ -17,6 +24,8 @@ Usage::
 
 import time
 from contextlib import contextmanager
+
+from repro.obs.spans import SpanTree
 
 
 class PhaseHandle:
@@ -30,30 +39,27 @@ class PhaseHandle:
 
 
 class PhaseProfile:
-    """Accumulated wall-clock and throughput per named phase."""
+    """Accumulated wall-clock and throughput per named phase.
 
-    def __init__(self):
-        self._phases = {}
+    A depth-1 view over ``self.spans`` (a :class:`SpanTree`): phase
+    records land at path ``(name,)``, and :meth:`as_dict` keeps the
+    original flat snapshot shape byte-for-byte.
+    """
+
+    def __init__(self, spans=None):
+        self.spans = spans if spans is not None else SpanTree()
 
     def record(self, name, seconds, events=0):
-        entry = self._phases.get(name)
-        if entry is None:
-            entry = self._phases[name] = {
-                "seconds": 0.0, "events": 0, "calls": 0,
-            }
-        entry["seconds"] += seconds
-        entry["events"] += events
-        entry["calls"] += 1
+        self.spans.record((name,), seconds, events=events)
 
     def __len__(self):
-        return len(self._phases)
+        return len(self.spans.roots())
 
     def __contains__(self, name):
-        return name in self._phases
+        return (name,) in self.spans
 
     def seconds(self, name):
-        entry = self._phases.get(name)
-        return entry["seconds"] if entry else 0.0
+        return self.spans.seconds((name,))
 
     def merge_snapshot(self, snapshot):
         """Fold another profile's :meth:`as_dict` snapshot into this one.
@@ -63,21 +69,33 @@ class PhaseProfile:
         workers, so parallel runs report total CPU-seconds per phase).
         """
         for name, entry in snapshot.items():
-            target = self._phases.get(name)
-            if target is None:
-                target = self._phases[name] = {
-                    "seconds": 0.0, "events": 0, "calls": 0,
-                }
-            target["seconds"] += entry.get("seconds", 0.0)
-            target["events"] += entry.get("events", 0)
-            target["calls"] += entry.get("calls", 0)
+            self.spans.record(
+                (name,),
+                entry.get("seconds", 0.0),
+                events=entry.get("events", 0),
+                calls=entry.get("calls", 0),
+            )
         return self
 
+    def merge_spans(self, snapshot):
+        """Fold a full :meth:`spans_as_dict` snapshot (nested paths)."""
+        self.spans.merge_snapshot(snapshot)
+        return self
+
+    def spans_as_dict(self):
+        """The full hierarchical snapshot (see :meth:`SpanTree.as_dict`)."""
+        return self.spans.as_dict()
+
     def as_dict(self):
-        """JSON-ready snapshot including derived events/sec."""
+        """JSON-ready flat snapshot including derived events/sec."""
         snapshot = {}
-        for name in sorted(self._phases):
-            entry = dict(self._phases[name])
+        for name in self.spans.roots():
+            stored = self.spans.get((name,))
+            entry = {
+                "seconds": stored["seconds"],
+                "events": stored["events"],
+                "calls": stored["calls"],
+            }
             entry["events_per_sec"] = (
                 entry["events"] / entry["seconds"]
                 if entry["seconds"] > 0 and entry["events"]

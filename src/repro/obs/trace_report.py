@@ -26,6 +26,7 @@ def summarize_trace(path):
     }
     runs = []
     phases = {}
+    spans = {}
     total = 0
     corrupt = []
 
@@ -94,6 +95,17 @@ def summarize_trace(path):
             entry["seconds"] += record.get("seconds", 0.0)
             entry["events"] += record.get("events", 0)
             entry["calls"] += 1
+        elif kind == "span.end":
+            entry = spans.setdefault(
+                record.get("path", record.get("name", "")),
+                {"seconds": 0.0, "self_seconds": 0.0,
+                 "events": 0, "calls": 0},
+            )
+            entry["seconds"] += record.get("seconds", 0.0)
+            entry["self_seconds"] += record.get(
+                "self_seconds", record.get("seconds", 0.0))
+            entry["events"] += record.get("events", 0)
+            entry["calls"] += 1
 
     reconciliation = {
         "episode_starts": by_type.get("dpred.episode.start", 0),
@@ -124,6 +136,7 @@ def summarize_trace(path):
         "selection": selection,
         "runs": runs,
         "phases": phases,
+        "spans": spans,
         "reconciliation": reconciliation,
     }
 
@@ -207,6 +220,27 @@ def format_trace_report(summary, top=10):
             lines.append(
                 f"    {name:<12} {entry['seconds']:8.3f}s"
                 f"  x{entry['calls']}  {entry['events']} events"
+            )
+
+    spans = summary.get("spans", {})
+    if spans:
+        # Same ordering as the profile CLI's hotspot table: self-time,
+        # largest first (ties broken by path for determinism).
+        ranked = sorted(
+            spans.items(),
+            key=lambda kv: (-kv[1]["self_seconds"], kv[0]),
+        )[:top]
+        lines.append("")
+        lines.append(f"top {top} spans by self-time:")
+        lines.append(
+            "    path                          self-s    total-s"
+            "   calls      events"
+        )
+        for path, entry in ranked:
+            lines.append(
+                f"    {path:<28} {entry['self_seconds']:8.3f} "
+                f"{entry['seconds']:10.3f} {entry['calls']:>7} "
+                f"{entry['events']:>11}"
             )
 
     recon = summary["reconciliation"]

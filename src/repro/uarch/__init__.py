@@ -15,7 +15,9 @@ diverge-loop early/late/no-exit behaviour.
 """
 
 from repro.uarch.config import ProcessorConfig
+from repro.uarch.profiler import COMPONENTS, SimProfiler
 from repro.uarch.stats import SimStats
 from repro.uarch.simulator import TimingSimulator, simulate
 
-__all__ = ["ProcessorConfig", "SimStats", "TimingSimulator", "simulate"]
+__all__ = ["COMPONENTS", "ProcessorConfig", "SimProfiler", "SimStats",
+           "TimingSimulator", "simulate"]

@@ -48,6 +48,18 @@ from repro.memory import MemoryHierarchy
 from repro.obs import events as obs_events
 from repro.obs.context import get_metrics, get_tracer
 from repro.uarch.config import ProcessorConfig
+from repro.uarch.profiler import (
+    BRANCH_PRED,
+    DATAFLOW,
+    DCACHE,
+    DPRED_EPISODE,
+    FETCH,
+    ICACHE,
+    NUM_COMPONENTS,
+    OTHER,
+    ROB_RETIRE,
+    WRONG_PATH,
+)
 from repro.uarch.stats import SimStats
 from repro.uarch.wrongpath import BiasTable, WrongPathWalker
 
@@ -125,17 +137,26 @@ class TimingSimulator:
         default — zero overhead).  When present, per-pc episode
         outcome counters are collected and folded in once per run via
         :meth:`~repro.obs.ledger.RuntimeLedger.record_run`.
+    profiler:
+        A :class:`repro.uarch.profiler.SimProfiler`, or ``None`` (the
+        default — zero overhead, same opt-in pattern as the ledger).
+        When present, the run loop charges its own wall-clock to
+        per-component buckets (stopwatch partition: the buckets sum to
+        the instrumented run time exactly) plus deterministic event
+        counts, folded in once per run via
+        :meth:`~repro.uarch.profiler.SimProfiler.record_run`.
     """
 
     def __init__(self, program, config=None, annotation=None,
                  collect_per_branch=False, tracer=None, metrics=None,
-                 ledger=None):
+                 ledger=None, profiler=None):
         self.program = program
         self.config = (config or ProcessorConfig()).validate()
         self.annotation = annotation
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = metrics if metrics is not None else get_metrics()
         self.ledger = ledger
+        self.profiler = profiler
         self._hist_episode_cycles = self.metrics.histogram(
             "dpred_episode_cycles", EPISODE_CYCLE_BUCKETS,
             help="dpred episode length in cycles",
@@ -222,13 +243,38 @@ class TimingSimulator:
             ))
         hist_episode_cycles = self._hist_episode_cycles
 
+        # Opt-in cost attribution (see repro.uarch.profiler): a single
+        # running timestamp; each charge(i) bills the time since the
+        # previous charge point to bucket i, so the buckets partition
+        # the instrumented interval exactly.  ``profiling`` is a hoisted
+        # local bool — profiler=None pays one check per charge site.
+        profiler = self.profiler
+        profiling = profiler is not None
+        if profiling:
+            from time import perf_counter as _perf
+
+            comp_sec = [0.0] * NUM_COMPONENTS
+            comp_events = [0] * NUM_COMPONENTS
+            mark = _perf()
+
+            def charge(index):
+                nonlocal mark
+                now = _perf()
+                comp_sec[index] += now - mark
+                mark = now
+        else:
+            charge = None
+
         # Warm the instruction side: at the paper's scale (hundreds of
         # millions of instructions) compulsory I-cache misses are
         # negligible, but at our reduced scale a cold pass over the
         # static code would cost more cycles than the whole benchmark.
-        for pc in range(0, len(instructions),
-                        max(1, self.memory.icache.words_per_line)):
+        warm_step = max(1, self.memory.icache.words_per_line)
+        for pc in range(0, len(instructions), warm_step):
             self.memory.instruction_latency(pc)
+        if profiling:
+            charge(ICACHE)
+            comp_events[ICACHE] += -(-len(instructions) // warm_step)
 
         # Front-end state.
         cycle = 0
@@ -299,7 +345,12 @@ class TimingSimulator:
             slots_used = 0
             cond_used = 0
             group_pc = pc
+            if profiling:
+                charge(FETCH)
             extra = memory.instruction_latency(pc) - cfg.icache_latency
+            if profiling:
+                charge(ICACHE)
+                comp_events[ICACHE] += 1
             if extra > 0:
                 stats.icache_misses += 1
                 if traced:
@@ -392,17 +443,22 @@ class TimingSimulator:
                             # True path waits for the false path, which
                             # never merges: dual-path until resolution.
                             end_episode_unmerged("true-path-waits")
+                if profiling:
+                    charge(DPRED_EPISODE)
 
             # ---- ROB slot ---------------------------------------------
             # Drain until there is space: episodes bulk-insert wrong-path
             # and select-µop entries, so a single pop per instruction
             # would quietly stop enforcing the ROB limit.
-            while len(rob) - rob_head >= rob_size:
-                free_at = retire_one()
-                if free_at > cycle:
-                    cycle = free_at
-                    slots_used = 0
-                    cond_used = 0
+            if len(rob) - rob_head >= rob_size:
+                while len(rob) - rob_head >= rob_size:
+                    free_at = retire_one()
+                    if free_at > cycle:
+                        cycle = free_at
+                        slots_used = 0
+                        cond_used = 0
+                if profiling:
+                    charge(ROB_RETIRE)
 
             # ---- fetch slot -------------------------------------------
             if episode is not None and episode.half_width \
@@ -418,6 +474,9 @@ class TimingSimulator:
             slots_used += 1
             if inst.is_conditional_branch:
                 cond_used += 1
+            if profiling:
+                charge(FETCH)
+                comp_events[FETCH] += 1
 
             # ---- dataflow timing --------------------------------------
             dispatch = fetch_cycle + frontend_depth
@@ -427,9 +486,20 @@ class TimingSimulator:
                 if ready > start:
                     start = ready
             if inst.is_load:
-                complete = start + memory.data_latency(address)
+                if profiling:
+                    charge(DATAFLOW)
+                data_latency = memory.data_latency(address)
+                if profiling:
+                    charge(DCACHE)
+                    comp_events[DCACHE] += 1
+                complete = start + data_latency
             elif inst.is_store:
+                if profiling:
+                    charge(DATAFLOW)
                 memory.data_latency(address)
+                if profiling:
+                    charge(DCACHE)
+                    comp_events[DCACHE] += 1
                 complete = start + inst.latency
             else:
                 complete = start + inst.latency
@@ -439,6 +509,9 @@ class TimingSimulator:
             rob.append(complete)
             last_complete = complete
             stats.retired_instructions += 1
+            if profiling:
+                charge(DATAFLOW)
+                comp_events[DATAFLOW] += 1
 
             # ---- control flow -----------------------------------------
             taken = next_pc != pc + 1
@@ -462,6 +535,9 @@ class TimingSimulator:
                     counters[0] += 1
                     if mispredicted:
                         counters[1] += 1
+                if profiling:
+                    charge(BRANCH_PRED)
+                    comp_events[BRANCH_PRED] += 1
 
                 resolve = complete
                 diverge = annotation.get(pc) if annotation else None
@@ -491,6 +567,7 @@ class TimingSimulator:
                             episode = self._make_hammock_episode(
                                 stats, diverge, taken, inst,
                                 fetch_cycle, resolve, mispredicted,
+                                charge=charge,
                             )
                             entered = True
                 if entered:
@@ -520,6 +597,10 @@ class TimingSimulator:
                         stats.dpred_select_uops += ep.num_selects
                         for _ in range(ep.num_selects):
                             rob.append(ep.resolve)
+                    if profiling:
+                        charge(DPRED_EPISODE)
+                        comp_events[DPRED_EPISODE] += 1
+                        comp_events[WRONG_PATH] += ep.false_insts
                 elif mispredicted and episode is not None \
                         and episode.kind == "loop" \
                         and episode.branch_pc == pc \
@@ -555,6 +636,10 @@ class TimingSimulator:
                         episode.false_done_cycle,
                         fetch_cycle + max(1, -(-extra // per_cycle)),
                     )
+                    if profiling:
+                        charge(DPRED_EPISODE)
+                        comp_events[DPRED_EPISODE] += 1
+                        comp_events[WRONG_PATH] += extra
                 elif mispredicted:
                     if episode is not None:
                         # A mispredicted branch on a predicated path
@@ -593,12 +678,17 @@ class TimingSimulator:
                         cycle += bubble
                         slots_used = 0
                         cond_used = 0
+                if profiling:
+                    charge(BRANCH_PRED)
             elif inst.op is Opcode.JMP:
                 bubble = self._btb_miss_bubble(pc, next_pc)
                 if bubble:
                     cycle += bubble
                     slots_used = 0
                     cond_used = 0
+                if profiling:
+                    charge(BRANCH_PRED)
+                    comp_events[BRANCH_PRED] += 1
             elif inst.is_call:
                 self.ras.push(pc + 1)
                 bubble = self._btb_miss_bubble(pc, next_pc)
@@ -606,6 +696,9 @@ class TimingSimulator:
                     cycle += bubble
                     slots_used = 0
                     cond_used = 0
+                if profiling:
+                    charge(BRANCH_PRED)
+                    comp_events[BRANCH_PRED] += 1
             elif inst.is_return:
                 correct = self.ras.pop_predict(next_pc)
                 if not correct:
@@ -642,6 +735,9 @@ class TimingSimulator:
                     cycle = max(cycle, complete + redirect)
                     slots_used = 0
                     cond_used = 0
+                if profiling:
+                    charge(BRANCH_PRED)
+                    comp_events[BRANCH_PRED] += 1
 
             # Taken control flow ends the fetch group.
             if taken and inst.is_control:
@@ -650,6 +746,11 @@ class TimingSimulator:
         # ---- drain -----------------------------------------------------
         while rob_head < len(rob):
             retire_one()
+        if profiling:
+            charge(ROB_RETIRE)
+            # Every ROB entry (true-path, wrong-path, select-µop)
+            # retires exactly once, drains included — deterministic.
+            comp_events[ROB_RETIRE] = len(rob)
         stats.cycles = max(last_retire_cycle, last_complete, cycle)
         stats.dcache_misses = self.memory.dcache.misses
         stats.l2_misses = self.memory.l2.misses
@@ -685,6 +786,11 @@ class TimingSimulator:
                 dpred_wrong_path_insts=stats.dpred_wrong_path_insts,
                 dpred_select_uops=stats.dpred_select_uops,
             ))
+        if profiling:
+            charge(OTHER)
+            comp_events[OTHER] += 1
+            profiler.record_run(label, comp_sec, comp_events, stats,
+                                metrics=self.metrics)
         return stats
 
     def _record_run_metrics(self, stats):
@@ -723,7 +829,8 @@ class TimingSimulator:
     # ------------------------------------------------------------------
 
     def _make_hammock_episode(self, stats, diverge, taken, inst,
-                              fetch_cycle, resolve, mispredicted):
+                              fetch_cycle, resolve, mispredicted,
+                              charge=None):
         cfg = self.config
         stats.dpred_episodes += 1
         episode = _Episode("hammock", diverge.branch_pc, resolve,
@@ -739,14 +846,21 @@ class TimingSimulator:
         episode.select_registers = diverge.select_registers
         episode.num_selects = diverge.num_select_uops
         episode.mispredicted = mispredicted
-        # Synthesize the path the trace did not take.
+        # Synthesize the path the trace did not take.  The walk is the
+        # wrong-path bucket; episode setup around it stays in
+        # dpred_episode (``charge`` is the run loop's stopwatch, None
+        # when profiling is off).
         false_start = (diverge.branch_pc + 1) if taken else inst.target
+        if charge is not None:
+            charge(DPRED_EPISODE)
         false_insts, false_merged = self.walker.walk(
             false_start,
             episode.cfm_pcs,
             episode.return_cfm,
             cfg.dpred_max_wrong_path_insts,
         )
+        if charge is not None:
+            charge(WRONG_PATH)
         episode.false_insts = false_insts
         episode.false_merged = false_merged
         per_cycle = max(1, cfg.fetch_width // 2)

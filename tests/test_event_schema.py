@@ -152,6 +152,14 @@ def _one_of_each():
             campaign="c", cell_id="def", attempts=3,
         ),
         events.PhaseEnd(name="simulate", seconds=0.1, events=100),
+        events.SpanEnd(
+            name="fetch", path="simulate/fetch", depth=2,
+            seconds=0.06, self_seconds=0.06, events=90,
+        ),
+        events.SpanEnd(
+            name="simulate", path="simulate", depth=1,
+            seconds=0.1, self_seconds=0.04, events=90,
+        ),
     ]
 
 

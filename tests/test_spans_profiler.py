@@ -1,0 +1,404 @@
+"""Hierarchical spans, the simulator cost profiler, and the profile CLI.
+
+Covers the observability tentpole: span nesting/unwinding semantics,
+the PhaseProfile-as-view byte compatibility, deterministic simulator
+cost attribution (``profiler=None`` changes nothing), structural
+bit-identity of span trees under parallel execution, the ``repro
+profile`` CLI with its schema, torn-tail-tolerant profile logs, and
+the campaign ``--resources`` annotation path.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import fig6, runner
+from repro.obs import MetricsRegistry, PhaseProfile, SpanTree, span
+from repro.obs.context import telemetry
+from repro.obs.spans import PATH_SEP
+from repro.obs.timers import phase
+from repro.uarch import SimProfiler, TimingSimulator
+from repro.uarch.profiler import COMPONENTS, NUM_COMPONENTS
+
+
+class TestSpanTree:
+    def test_nested_spans_record_paths_and_self_time(self):
+        tree = SpanTree()
+        registry = MetricsRegistry()
+        with telemetry(metrics=registry, phases=PhaseProfile(tree)):
+            with span("outer"):
+                time.sleep(0.01)
+                with span("inner"):
+                    time.sleep(0.01)
+        assert ("outer",) in tree
+        assert ("outer", "inner") in tree
+        outer = tree.get(("outer",))
+        inner = tree.get(("outer", "inner"))
+        # Cumulative covers the child; self-time excludes it exactly.
+        assert outer["seconds"] >= inner["seconds"]
+        assert outer["self_seconds"] == pytest.approx(
+            outer["seconds"] - inner["seconds"]
+        )
+        assert inner["self_seconds"] == pytest.approx(inner["seconds"])
+        assert outer["calls"] == inner["calls"] == 1
+        # Metrics mirror with dotted path names.
+        assert registry.counter(
+            "span_outer.inner_seconds_total").value > 0
+
+    def test_span_stack_unwinds_on_exception(self):
+        tree = SpanTree()
+        bundle = telemetry(
+            metrics=MetricsRegistry(), phases=PhaseProfile(tree)
+        )
+        with bundle:
+            with pytest.raises(RuntimeError):
+                with span("outer"):
+                    with span("inner"):
+                        raise RuntimeError("boom")
+            # Both spans recorded despite the raise; stack is empty.
+            assert tree.current_path() == ()
+            assert tree.get(("outer",))["calls"] == 1
+            assert tree.get(("outer", "inner"))["calls"] == 1
+            # A subsequent span is a root again, not a child of outer.
+            with span("after"):
+                pass
+            assert ("after",) in tree
+
+    def test_snapshot_merge_is_per_path_addition(self):
+        a, b = SpanTree(), SpanTree()
+        a.record(("x",), 1.0, 0.5, events=2)
+        a.record(("x", "y"), 0.5, 0.5, events=1)
+        b.record(("x",), 2.0, 1.0, events=3)
+        b.record(("z",), 1.0)
+        a.merge_snapshot(b.as_dict())
+        assert a.seconds(("x",)) == pytest.approx(3.0)
+        assert a.self_seconds(("x",)) == pytest.approx(1.5)
+        assert a.get(("x",))["events"] == 5
+        assert a.seconds(("z",)) == pytest.approx(1.0)
+        assert a.seconds(("x", "y")) == pytest.approx(0.5)
+
+    def test_phase_profile_is_a_depth1_view(self):
+        profile = PhaseProfile()
+        with telemetry(metrics=MetricsRegistry(), phases=profile):
+            with phase("simulate") as ph:
+                ph.events = 100
+            with span("simulate"):
+                pass
+        # Phases and depth-1 spans share the same tree path.
+        assert profile.spans.get(("simulate",))["calls"] == 2
+        snapshot = profile.as_dict()["simulate"]
+        # The flat snapshot keeps its historical shape: no
+        # self_seconds key leaks into the byte-compatible view.
+        assert sorted(snapshot) == [
+            "calls", "events", "events_per_sec", "seconds"
+        ]
+        assert snapshot["events"] == 100
+
+    def test_span_end_event_in_trace(self, tmp_path):
+        from repro.obs import jsonl_tracer
+
+        path = tmp_path / "t.jsonl"
+        tracer = jsonl_tracer(str(path))
+        with telemetry(tracer=tracer, metrics=MetricsRegistry(),
+                       phases=PhaseProfile()):
+            with span("a"):
+                with span("b", events=7):
+                    pass
+        tracer.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span.end"]
+        # Children close first.
+        assert [r["path"] for r in spans] == ["a" + PATH_SEP + "b", "a"]
+        assert spans[0]["depth"] == 2
+        assert spans[0]["events"] == 7
+        assert spans[1]["self_seconds"] <= spans[1]["seconds"]
+
+
+class TestTraceReportSpans:
+    def test_top_spans_section(self, tmp_path):
+        from repro.obs import format_trace_report, jsonl_tracer
+        from repro.obs.trace_report import summarize_trace
+
+        path = tmp_path / "t.jsonl"
+        tracer = jsonl_tracer(str(path))
+        with telemetry(tracer=tracer, metrics=MetricsRegistry(),
+                       phases=PhaseProfile()):
+            for _ in range(2):
+                with span("outer"):
+                    with span("inner"):
+                        time.sleep(0.002)
+        tracer.close()
+        summary = summarize_trace(str(path))
+        assert summary["spans"]["outer/inner"]["calls"] == 2
+        report = format_trace_report(summary)
+        assert "top 10 spans by self-time" in report
+        assert "outer/inner" in report
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        from repro.obs.trace_report import summarize_trace
+
+        path = tmp_path / "t.jsonl"
+        record = {"type": "span.end", "name": "a", "path": "a",
+                  "depth": 1, "seconds": 0.5, "self_seconds": 0.5,
+                  "events": 0}
+        path.write_text(json.dumps(record) + "\n"
+                        + '{"type": "span.e')
+        summary = summarize_trace(str(path))
+        assert summary["corrupt_lines"] == 1
+        assert summary["spans"]["a"]["seconds"] == pytest.approx(0.5)
+
+
+SCALE = 0.1
+BENCH = ["gzip", "twolf"]
+
+
+class TestParallelSpanMerge:
+    def test_span_tree_structure_identical_serial_vs_parallel(self):
+        """jobs=1 vs jobs=4: same results, same span-tree structure.
+
+        Wall-clock seconds differ between runs by nature; the merged
+        tree's *structure* — paths, call counts, event counts — must be
+        bit-identical, as must the driver's result.
+        """
+        from repro.exec import artifact_cache
+
+        def run(jobs):
+            phases = PhaseProfile()
+            with telemetry(metrics=MetricsRegistry(), phases=phases):
+                runner.clear_cache()
+                result = fig6.run(scale=SCALE, benchmarks=BENCH,
+                                  jobs=jobs)
+            runner.clear_cache()
+            return result, phases.spans_as_dict()
+
+        # Disable the disk cache so both runs do the same cold work
+        # (a warm load skips the trace/profile phases entirely).
+        artifact_cache.set_disabled(True)
+        try:
+            serial_result, serial_spans = run(1)
+            parallel_result, parallel_spans = run(4)
+        finally:
+            artifact_cache.set_disabled(None)
+        assert serial_result == parallel_result
+        assert sorted(serial_spans) == sorted(parallel_spans)
+        for key in serial_spans:
+            assert serial_spans[key]["calls"] \
+                == parallel_spans[key]["calls"], key
+            assert serial_spans[key]["events"] \
+                == parallel_spans[key]["events"], key
+        # The engine wraps every job in a "cell" span on both paths.
+        assert serial_spans["cell"]["calls"] == len(BENCH)
+
+
+class TestSimProfiler:
+    def _artifacts(self):
+        art = runner.get_artifacts("gzip", scale=0.2)
+        return art.program, art.trace
+
+    def test_profiler_does_not_change_results(self):
+        program, trace = self._artifacts()
+        baseline = TimingSimulator(program).run(trace, label="x")
+        profiled = TimingSimulator(
+            program, profiler=SimProfiler()
+        ).run(trace, label="x")
+        assert baseline == profiled
+
+    def test_event_counts_deterministic_and_buckets_partition(self):
+        program, trace = self._artifacts()
+        p1, p2 = SimProfiler(), SimProfiler()
+        TimingSimulator(program, profiler=p1).run(trace, label="x")
+        TimingSimulator(program, profiler=p2).run(trace, label="x")
+        assert p1.events == p2.events
+        assert sum(p1.events) > 0
+        # The stopwatch partition sums to the recorded run total.
+        run = p1.runs[0]
+        assert sum(run["seconds"].values()) == pytest.approx(
+            run["total_seconds"]
+        )
+        assert p1.total_seconds() == pytest.approx(
+            sum(p1.seconds)
+        )
+
+    def test_components_rows_are_self_time_ordered(self):
+        program, trace = self._artifacts()
+        profiler = SimProfiler()
+        TimingSimulator(program, profiler=profiler).run(trace)
+        rows = profiler.components()
+        assert [r["name"] for r in rows] != []
+        seconds = [r["seconds"] for r in rows]
+        assert seconds == sorted(seconds, reverse=True)
+        assert sum(r["fraction"] for r in rows) == pytest.approx(1.0)
+        assert {r["name"] for r in rows} == set(COMPONENTS)
+        assert len(COMPONENTS) == NUM_COMPONENTS
+
+    def test_folded_output_shape(self):
+        program, trace = self._artifacts()
+        profiler = SimProfiler()
+        TimingSimulator(program, profiler=profiler).run(trace)
+        lines = profiler.folded()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack.startswith("repro;simulate;")
+            assert int(weight) > 0
+
+    def test_metrics_mirroring(self):
+        program, trace = self._artifacts()
+        registry = MetricsRegistry()
+        profiler = SimProfiler()
+        simulator = TimingSimulator(
+            program, profiler=profiler, metrics=registry
+        )
+        simulator.run(trace)
+        assert registry.counter(
+            "simprof_fetch_seconds_total").value > 0
+        assert registry.counter(
+            "simprof_fetch_events_total").value \
+            == profiler.events[COMPONENTS.index("fetch")]
+
+
+class TestProfileCli:
+    def _build(self):
+        from repro.compiler import registry as preset_registry
+        from repro.obs.profile_cli import build_profile
+
+        config = preset_registry.resolve("all-best-cost")
+        return build_profile("gzip", config, scale=0.2)
+
+    def test_buckets_cover_simulate_self_time(self):
+        data = self._build()
+        sim = data["simulate"]
+        # Acceptance: component buckets sum (within rounding/boundary
+        # noise) to the simulate span's self-time.
+        assert sim["self_seconds"] > 0
+        assert 0.90 <= sim["coverage"] <= 1.001
+        assert sim["attributed_seconds"] == pytest.approx(
+            data["profiler"]["total_seconds"]
+        )
+        assert sim["insts_per_sec"] > 0
+        assert data["run"]["retired_instructions"] == pytest.approx(
+            sim["insts_per_sec"] * sim["self_seconds"]
+        )
+
+    def test_json_validates_against_schema(self):
+        from repro.obs.profile_cli import validate_profile
+
+        data = self._build()
+        assert validate_profile(data) == []
+        # Round-trips through JSON unchanged (no non-serializable
+        # values sneak in).
+        assert validate_profile(json.loads(json.dumps(data))) == []
+
+    def test_schema_rejects_malformed(self):
+        from repro.obs.profile_cli import validate_profile
+
+        data = self._build()
+        data["profiler"]["components"][0]["name"] = "warp_drive"
+        del data["simulate"]["coverage"]
+        errors = validate_profile(data)
+        assert any("warp_drive" in e for e in errors)
+        assert any("coverage" in e for e in errors)
+
+    def test_cli_text_and_folded_and_json(self, tmp_path, capsys):
+        from repro.obs.profile_cli import main
+
+        assert main(["gzip", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator hotspots" in out
+        assert "span timings" in out
+        assert "insts/sec" in out
+
+        out_path = tmp_path / "deep" / "nested" / "p.folded"
+        assert main(["gzip", "--scale", "0.2", "--folded",
+                     "-o", str(out_path)]) == 0
+        folded = out_path.read_text().splitlines()
+        assert any(line.startswith("repro;simulate;")
+                   for line in folded)
+
+        json_path = tmp_path / "deep" / "p.json"
+        assert main(["gzip", "--scale", "0.2", "--json",
+                     "-o", str(json_path)]) == 0
+        data = json.loads(json_path.read_text())
+        assert data["workload"] == "gzip"
+
+    def test_profile_log_torn_tail(self, tmp_path):
+        from repro.obs.profile_cli import (
+            append_profile_log,
+            read_profile_log,
+        )
+
+        path = tmp_path / "deep" / "history.jsonl"
+        append_profile_log(str(path), {"workload": "gzip", "n": 1})
+        append_profile_log(str(path), {"workload": "gzip", "n": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"workload": "torn')
+        records, corrupt = read_profile_log(str(path))
+        assert [r["n"] for r in records] == [1, 2]
+        assert corrupt == 1
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        from repro.obs.profile_cli import main
+
+        assert main(["no-such-benchmark"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignResources:
+    def test_cell_usage_shape(self):
+        from repro.campaign.scheduler import _cell_usage
+
+        usage = _cell_usage()
+        assert usage is not None
+        assert set(usage) == {
+            "user_seconds", "system_seconds", "max_rss_kb"
+        }
+        assert usage["max_rss_kb"] > 0
+
+    def test_journal_resources_round_trip(self, tmp_path):
+        from repro.campaign.journal import Journal, replay
+
+        path = tmp_path / "journal.jsonl"
+        usage = {"user_seconds": 1.5, "system_seconds": 0.25,
+                 "max_rss_kb": 51200}
+        with Journal(str(path)) as journal:
+            journal.campaign_start("c", "hash", 1)
+            journal.cell_finish("cell-1", 1, 0.5, {"speedup": 0.1},
+                                resources=usage)
+            journal.cell_finish("cell-2", 1, 0.5, {"speedup": 0.2})
+        state = replay(str(path))
+        assert state.resources == {"cell-1": usage}
+
+    def test_report_resources_is_an_annotation(self):
+        """Base report stays byte-identical; --resources appends."""
+        from repro.campaign.report import render_report
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="c", benchmarks=("gzip",), axes=(),
+            selection="all-best-cost", scale=0.1,
+        )
+        cells = spec.cells()
+        results = {
+            cells[0].cell_id: {
+                "speedup": 0.1,
+                "baseline": {"ipc": 1.0},
+                "stats": {"ipc": 1.1},
+            }
+        }
+        base = render_report(spec, results)
+        with_none = render_report(spec, results, resources=None)
+        assert base == with_none
+        usage = {"user_seconds": 1.0, "system_seconds": 0.5,
+                 "max_rss_kb": 2048}
+        annotated = render_report(
+            spec, results,
+            resources={cells[0].cell_id: usage},
+        )
+        assert annotated.startswith(base)
+        assert "Worker resources" in annotated
+        assert "2.0" in annotated  # 2048 kB -> 2.0 MB
+        # Cells without journaled usage render as gaps, not errors.
+        gap_report = render_report(spec, results, resources={})
+        assert "0/1 cells journaled usage" in gap_report
