@@ -19,7 +19,7 @@ from repro.emulator import execute
 from repro.exec import artifact_cache
 from repro.experiments import fig6, runner
 from repro.profiling import Profiler
-from repro.uarch import TimingSimulator
+from repro.uarch import TimingSimulator, VectorizedTimingSimulator
 from repro.workloads import load_benchmark
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -143,6 +143,38 @@ def test_simulator_compact_trace(benchmark, workload):
     _TOP["sim.insts_per_sec"] = (
         stats.retired_instructions / benchmark.stats.stats.min
     )
+
+
+def test_simulator_vectorized(benchmark, workload):
+    """The numpy batch-replay engine on the same trace.
+
+    Emits ``sim_vectorized.insts_per_sec`` (trajectory-gated as
+    ``engine.sim_vectorized.insts_per_sec``) and asserts the
+    vectorized/scalar speedup stays at or above 5x — the optimization's
+    contract, per-round construction included.  Runs after the scalar
+    benchmark so ``sim.insts_per_sec`` is already recorded.
+    """
+    trace, _ = _single_pass(workload)
+    scalar_stats = TimingSimulator(workload.program).run(trace)
+    stats = benchmark.pedantic(
+        lambda: VectorizedTimingSimulator(workload.program).run(trace),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.as_dict() == scalar_stats.as_dict()
+    _record("simulator_vectorized", benchmark)
+    insts_per_sec = (
+        stats.retired_instructions / benchmark.stats.stats.min
+    )
+    _TOP["sim_vectorized.insts_per_sec"] = insts_per_sec
+    scalar_insts_per_sec = _TOP.get("sim.insts_per_sec")
+    if scalar_insts_per_sec:
+        speedup = insts_per_sec / scalar_insts_per_sec
+        _TOP["sim_vectorized_speedup"] = speedup
+        assert speedup >= 5.0, (
+            f"vectorized engine must be >= 5x scalar, got "
+            f"{speedup:.2f}x"
+        )
 
 
 def _suite(jobs):

@@ -14,6 +14,12 @@ same prebuilt trace:
 - ``test_run_profiled`` times the attributing run; the report records
   the measured ``profiling_slowdown`` (the *accepted* cost of asking
   where the time goes) and the attributed component fractions.
+
+The same pair runs against the vectorized batch-replay engine: its
+``profiler=None`` path carries no stopwatch checks either (kernels are
+charged per window, never per row), and its attributed run must keep
+the nine component buckets meaningful (non-empty partition summing to
+the run).
 """
 
 import json
@@ -24,7 +30,11 @@ import pytest
 
 from repro.emulator import execute
 from repro.profiling import Profiler
-from repro.uarch import SimProfiler, TimingSimulator
+from repro.uarch import (
+    SimProfiler,
+    TimingSimulator,
+    VectorizedTimingSimulator,
+)
 from repro.workloads import load_benchmark
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -66,6 +76,12 @@ def simprofiler_report():
     profiled = _RESULTS.get("profiled_seconds")
     if unprofiled and profiled:
         report["profiling_slowdown"] = profiled / unprofiled
+    vec_unprofiled = _RESULTS.get("vectorized_unprofiled_seconds")
+    vec_profiled = _RESULTS.get("vectorized_profiled_seconds")
+    if vec_unprofiled and vec_profiled:
+        report["vectorized_profiling_slowdown"] = (
+            vec_profiled / vec_unprofiled
+        )
     path = RESULTS_DIR / "BENCH_simprofiler.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\n[bench] sim-profiler timings written to {path}")
@@ -114,3 +130,49 @@ def test_run_profiled(benchmark, prepared):
     # instrumented run: buckets are charged back-to-back with no gaps.
     assert profiler.total_seconds() > 0
     assert stats.retired_instructions > 0
+
+
+def test_run_vectorized_unprofiled(benchmark, prepared):
+    """The vectorized engine's ``profiler=None`` zero-overhead path."""
+    workload, trace = prepared
+    stats = benchmark.pedantic(
+        lambda: VectorizedTimingSimulator(workload.program).run(trace),
+        rounds=5,
+        iterations=1,
+    )
+    seconds = benchmark.stats.stats.min
+    _RESULTS["vectorized_unprofiled_seconds"] = seconds
+    _RESULTS["vectorized_unprofiled_insts_per_sec"] = (
+        stats.retired_instructions / seconds
+    )
+
+
+def test_run_vectorized_profiled(benchmark, prepared):
+    """The vectorized engine with per-kernel component attribution."""
+    workload, trace = prepared
+
+    def run():
+        profiler = SimProfiler()
+        stats = VectorizedTimingSimulator(
+            workload.program, profiler=profiler
+        ).run(trace)
+        return stats, profiler
+
+    stats, profiler = benchmark.pedantic(run, rounds=5, iterations=1)
+    seconds = benchmark.stats.stats.min
+    _RESULTS["vectorized_profiled_seconds"] = seconds
+    _RESULTS["vectorized_profiled_insts_per_sec"] = (
+        stats.retired_instructions / seconds
+    )
+    _RESULTS["vectorized_components"] = {
+        row["name"]: {
+            "fraction": round(row["fraction"], 4),
+            "events": row["events"],
+        }
+        for row in profiler.components()
+    }
+    assert profiler.total_seconds() > 0
+    # Identical machine model → identical stats under attribution.
+    assert stats.as_dict() == TimingSimulator(
+        workload.program
+    ).run(trace).as_dict()

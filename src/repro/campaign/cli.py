@@ -136,6 +136,12 @@ def _add_exec_args(sub):
     sub.add_argument("--max-cells", type=int, default=None, metavar="N",
                      help="stop after N completed cells (for smoke "
                           "tests of resume)")
+    sub.add_argument("--sim-engine",
+                     choices=("auto", "scalar", "vectorized"),
+                     default=None,
+                     help="timing-simulator engine for cell workers "
+                          "(default: process default / auto; results "
+                          "are engine-independent)")
     sub.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
                      help=f"campaign root (default {DEFAULT_RESULTS_DIR})")
 
@@ -206,6 +212,7 @@ def _execute(spec, directory, args, state):
             max_attempts=args.retries,
             backoff=args.backoff,
             cell_timeout=args.timeout,
+            sim_engine=args.sim_engine,
         )
         summary = scheduler.run(state, max_cells=args.max_cells)
     completed = len(summary["results"])

@@ -77,10 +77,16 @@ def _cell_usage():
     }
 
 
-def _cell_worker(conn, fn, params):
+def _cell_worker(conn, fn, params, sim_engine=None):
     """Run one cell under fresh telemetry; ship outcome over the pipe."""
     from repro.obs.context import telemetry
 
+    if sim_engine is not None:
+        # Set explicitly rather than relying on fork inheritance, so
+        # the engine choice survives a switch to a spawn context.
+        from repro.uarch import set_default_engine
+
+        set_default_engine(sim_engine)
     registry = MetricsRegistry()
     phases = PhaseProfile()
     try:
@@ -120,7 +126,8 @@ class Scheduler:
 
     def __init__(self, spec, journal, jobs=1,
                  max_attempts=DEFAULT_MAX_ATTEMPTS,
-                 backoff=DEFAULT_BACKOFF, cell_timeout=None):
+                 backoff=DEFAULT_BACKOFF, cell_timeout=None,
+                 sim_engine=None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
@@ -133,6 +140,9 @@ class Scheduler:
         self.max_attempts = max_attempts
         self.backoff = backoff
         self.cell_timeout = cell_timeout
+        #: Timing-simulator engine for cell workers (None = inherit
+        #: the process default; stats are engine-independent).
+        self.sim_engine = sim_engine
         self._ctx = multiprocessing.get_context("fork")
         self._fn = resolve_cell_fn(spec.cell)
         #: Optional parent-side warm hook (``fn.prepare``): builds the
@@ -249,7 +259,7 @@ class Scheduler:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_cell_worker,
-            args=(child_conn, self._fn, cell.params),
+            args=(child_conn, self._fn, cell.params, self.sim_engine),
             daemon=True,
         )
         process.start()

@@ -1,0 +1,138 @@
+"""Simulation-engine selection (scalar vs vectorized batch replay).
+
+One small resolution layer so every consumer — the experiment runner,
+campaigns, ``explain``/``profile``, tests — builds simulators the same
+way:
+
+- :func:`make_simulator` is the factory everything should call.
+- Precedence: an explicit ``engine=`` argument beats a non-``"auto"``
+  :attr:`ProcessorConfig.sim_engine`, which beats the process default
+  (set by ``--sim-engine`` / :envvar:`REPRO_SIM_ENGINE`), which beats
+  the ``auto`` heuristic.
+- ``auto`` picks the vectorized engine whenever
+  :func:`repro.uarch.vectorized.supports` says the replay is
+  bit-identical for this (program, config); otherwise it silently
+  falls back to the scalar engine.  Requesting ``vectorized``
+  explicitly on an unsupported program raises
+  :class:`~repro.errors.SimulationError` instead.
+
+Both engines produce bit-identical :class:`~repro.uarch.stats.SimStats`
+(and ledger counters and trace events), so engine choice is purely a
+throughput knob and is deliberately *not* part of any cache or cell
+identity.
+"""
+
+import os
+from contextlib import contextmanager
+
+from repro.errors import SimulationError
+from repro.uarch.simulator import TimingSimulator
+
+#: Recognized engine names.
+ENGINES = ("auto", "scalar", "vectorized")
+
+#: Environment override for the process default (same values).
+ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
+
+_default_engine = None
+
+
+def get_default_engine():
+    """The process-default engine: CLI override, else env, else auto."""
+    if _default_engine is not None:
+        return _default_engine
+    env = os.environ.get(ENV_SIM_ENGINE, "").strip().lower()
+    return env if env in ENGINES else "auto"
+
+
+def set_default_engine(engine):
+    """Set (or with ``None`` clear) the process-default engine."""
+    global _default_engine
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"unknown sim engine {engine!r} "
+            f"(choose from {', '.join(ENGINES)})"
+        )
+    _default_engine = engine
+
+
+@contextmanager
+def engine_override(engine):
+    """Temporarily set the process default (``None`` is a no-op)."""
+    if engine is None:
+        yield
+        return
+    previous = _default_engine
+    set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def _numpy_available():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def vectorized_support(program, config=None):
+    """``(ok, reason)``: may ``auto`` pick the vectorized engine here?"""
+    if not _numpy_available():
+        return False, "numpy is not installed"
+    from repro.uarch.config import ProcessorConfig
+    from repro.uarch.vectorized import supports
+
+    return supports(program, config or ProcessorConfig())
+
+
+def resolve_engine(program, config=None, engine=None):
+    """Resolve the effective engine name (``"scalar"``/``"vectorized"``).
+
+    Raises :class:`SimulationError` for an unknown name, or when
+    ``vectorized`` is requested explicitly but unsupported for this
+    (program, config).
+    """
+    requested = engine
+    if requested is None:
+        configured = getattr(config, "sim_engine", "auto") \
+            if config is not None else "auto"
+        requested = configured if configured != "auto" \
+            else get_default_engine()
+    if requested not in ENGINES:
+        raise SimulationError(
+            f"unknown sim engine {requested!r} "
+            f"(choose from {', '.join(ENGINES)})"
+        )
+    if requested == "auto":
+        ok, _ = vectorized_support(program, config)
+        return "vectorized" if ok else "scalar"
+    if requested == "vectorized":
+        ok, reason = vectorized_support(program, config)
+        if not ok:
+            raise SimulationError(
+                f"vectorized sim engine unavailable: {reason}"
+            )
+    return requested
+
+
+def make_simulator(program, config=None, annotation=None, engine=None,
+                   **kwargs):
+    """Build a simulator through the engine-resolution rules.
+
+    ``kwargs`` are forwarded to the simulator constructor
+    (``collect_per_branch``, ``tracer``, ``metrics``, ``ledger``,
+    ``profiler`` — plus ``window_size`` for the vectorized engine).
+    """
+    resolved = resolve_engine(program, config, engine)
+    if resolved == "vectorized":
+        from repro.uarch.vectorized import VectorizedTimingSimulator
+
+        return VectorizedTimingSimulator(
+            program, config=config, annotation=annotation, **kwargs
+        )
+    return TimingSimulator(
+        program, config=config, annotation=annotation, **kwargs
+    )

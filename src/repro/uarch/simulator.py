@@ -565,7 +565,7 @@ class TimingSimulator:
                                 episode = self._loop_episode
                         else:
                             episode = self._make_hammock_episode(
-                                stats, diverge, taken, inst,
+                                stats, diverge, taken, inst.target,
                                 fetch_cycle, resolve, mispredicted,
                                 charge=charge,
                             )
@@ -828,7 +828,7 @@ class TimingSimulator:
     # DMP episode construction
     # ------------------------------------------------------------------
 
-    def _make_hammock_episode(self, stats, diverge, taken, inst,
+    def _make_hammock_episode(self, stats, diverge, taken, false_target,
                               fetch_cycle, resolve, mispredicted,
                               charge=None):
         cfg = self.config
@@ -850,7 +850,7 @@ class TimingSimulator:
         # wrong-path bucket; episode setup around it stays in
         # dpred_episode (``charge`` is the run loop's stopwatch, None
         # when profiling is off).
-        false_start = (diverge.branch_pc + 1) if taken else inst.target
+        false_start = (diverge.branch_pc + 1) if taken else false_target
         if charge is not None:
             charge(DPRED_EPISODE)
         false_insts, false_merged = self.walker.walk(
@@ -983,7 +983,14 @@ class TimingSimulator:
 
 
 def simulate(program, trace, config=None, annotation=None, label=""):
-    """One-call convenience: build a simulator and run ``trace``."""
-    simulator = TimingSimulator(program, config=config,
-                                annotation=annotation)
+    """One-call convenience: build a simulator and run ``trace``.
+
+    Goes through the engine-resolution rules (``config.sim_engine`` /
+    process default / ``auto``), so it may pick the vectorized batch
+    replay — the result is bit-identical either way.
+    """
+    from repro.uarch.engine import make_simulator
+
+    simulator = make_simulator(program, config=config,
+                               annotation=annotation)
     return simulator.run(trace, label=label)
