@@ -43,6 +43,11 @@ Simulator cost profile (see ``docs/observability.md``)::
     python -m repro profile gzip --scale 0.5
     python -m repro profile gzip --folded -o gzip.folded
     python -m repro profile gzip --json -o results/profile_gzip.json
+
+Serving daemon (see ``docs/serving.md``)::
+
+    python -m repro serve --port 8642 --warm gzip,twolf
+    curl -d '{"benchmark": "twolf"}' localhost:8642/v1/compile
 """
 
 import argparse
@@ -108,6 +113,10 @@ def main(argv=None):
         from repro.obs.profile_cli import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -307,9 +316,16 @@ def _run_cache_command(parser, action):
         state = "enabled" if info["enabled"] else "disabled"
         print(f"artifact cache at {info['dir']} ({state})")
         print(
-            f"  {info['entries']} entries, {info['bytes']:,} bytes, "
+            f"  {info['entries']} entries, {info['bytes']:,} bytes "
+            f"({artifact_cache.format_size(info['bytes'])}), "
             f"format v{info['format_version']}"
         )
+        for kind in sorted(info["kinds"]):
+            bucket = info["kinds"][kind]
+            print(
+                f"    {kind}: {bucket['entries']} entries, "
+                f"{artifact_cache.format_size(bucket['bytes'])}"
+            )
         return 0
     if action == "clear":
         removed = artifact_cache.clear()

@@ -9,17 +9,34 @@ restartable unit of work instead of one monolithic in-memory pass:
   baseline→selection→DMP cell function);
 - :mod:`repro.campaign.journal` — the append-only JSONL journal whose
   replay *is* the resume protocol;
-- :mod:`repro.campaign.scheduler` — per-cell worker processes with
-  timeout, bounded retry with exponential backoff, and quarantine;
+- :mod:`repro.campaign.scheduler` — campaign *policy*: timeout,
+  bounded retry with exponential backoff, and quarantine;
+- :mod:`repro.campaign.backends` — execution *mechanics* behind a
+  pluggable :class:`LocalPoolBackend` / :class:`ShardedBackend`
+  interface (fork-per-cell locally, or one shard of the cell space
+  per machine with ``campaign merge`` recombining the journals);
 - :mod:`repro.campaign.report` — status and deterministic reporting
   (per-cell stats, mean speedups, Fig. 7-style sensitivity grids);
 - :mod:`repro.campaign.cli` — ``python -m repro campaign
-  {run,resume,status,report}``.
+  {run,resume,status,report,merge}``.
 
 See ``docs/campaigns.md``.
 """
 
-from repro.campaign.journal import Journal, JournalState, replay
+from repro.campaign.backends import (
+    BACKENDS,
+    LocalPoolBackend,
+    ShardedBackend,
+    make_backend,
+    shard_of,
+)
+from repro.campaign.journal import (
+    Journal,
+    JournalState,
+    find_shard_journals,
+    merge_shard_journals,
+    replay,
+)
 from repro.campaign.report import (
     aggregate_means,
     render_report,
@@ -42,19 +59,26 @@ from repro.campaign.spec import (
 
 __all__ = [
     "Axis",
+    "BACKENDS",
     "CampaignSpec",
     "Cell",
     "DEFAULT_BACKOFF",
     "DEFAULT_MAX_ATTEMPTS",
     "Journal",
     "JournalState",
+    "LocalPoolBackend",
     "SELECTION_PRESETS",
     "Scheduler",
+    "ShardedBackend",
     "aggregate_means",
     "build_selection",
     "content_hash",
+    "find_shard_journals",
+    "make_backend",
+    "merge_shard_journals",
     "render_report",
     "render_status",
     "replay",
     "run_cell",
+    "shard_of",
 ]

@@ -1,23 +1,40 @@
-"""``python -m repro campaign {run,resume,status,report}``.
+"""``python -m repro campaign {run,resume,status,report,merge}``.
 
 A campaign lives in one directory (default
-``results/campaigns/<name>/``) holding exactly two files: the frozen
-``spec.json`` and the append-only ``journal.jsonl``.  ``run`` creates
-the directory and drains the sweep; ``resume`` replays the journal and
-re-runs only pending/failed cells; ``status`` and ``report`` are pure
-readers.  Exit codes: 0 — all cells settled (completed or
-quarantined); 3 — interrupted with pending cells (``--max-cells`` or
-SIGINT); 130 — SIGINT; 1 — usage or spec errors.
+``results/campaigns/<name>/``) holding the frozen ``spec.json`` and
+the append-only ``journal.jsonl``.  ``run`` creates the directory and
+drains the sweep; ``resume`` replays the journal and re-runs only
+pending/failed cells; ``status`` and ``report`` are pure readers.
+
+Sharded runs (``--shards N --shard-index I``) drain only the cells
+whose content-hashed ID lands in shard I, journaling into
+``journal.shard-I-of-N.jsonl`` — run each shard on its own machine
+against the same spec, collect the shard journals into one directory,
+and ``merge`` recombines them into the ``journal.jsonl`` an unsharded
+run would have produced (``report`` output is byte-identical).
+
+Exit codes: 0 — all cells settled (completed or quarantined); 3 —
+interrupted with pending cells (``--max-cells`` or SIGINT); 130 —
+SIGINT; 143 — SIGTERM; 1 — usage or spec errors.  Both interrupt
+paths drain cleanly: in-flight workers are terminated, every durably
+journaled record survives, and no traceback is spewed.
 """
 
 import argparse
 import os
+import signal
 import sys
 
+from repro.campaign.backends import (
+    LocalPoolBackend,
+    ShardedBackend,
+)
 from repro.campaign.journal import (
     JOURNAL_NAME,
     SPEC_NAME,
     Journal,
+    find_shard_journals,
+    merge_shard_journals,
     replay,
 )
 from repro.campaign.report import render_report, render_status
@@ -46,18 +63,43 @@ def builtin_specs():
     }
 
 
+class _Terminated(Exception):
+    """SIGTERM arrived; unwind like ^C but exit 143."""
+
+
+def _raise_terminated(signum, frame):
+    raise _Terminated()
+
+
 def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
+    # SIGTERM drains exactly like ^C: the scheduler's finally-block
+    # terminates in-flight workers, the journal already holds every
+    # durable record, and the exit is a clean nonzero code instead of
+    # a traceback.  Only install in the main thread (signal handlers
+    # are process-global; embedded callers keep their own).
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:  # pragma: no cover — not the main thread
+        pass
     try:
         return args.handler(parser, args)
     except KeyboardInterrupt:
         print("\ncampaign interrupted; resume with: "
               "python -m repro campaign resume <name>", file=sys.stderr)
         return 130
+    except _Terminated:
+        print("\ncampaign terminated; resume with: "
+              "python -m repro campaign resume <name>", file=sys.stderr)
+        return 143
     except (ValueError, OSError) as exc:
         print(f"python -m repro campaign: error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
 
 def _build_parser():
@@ -117,6 +159,19 @@ def _build_parser():
              "section (getrusage; journaled by each cell)",
     )
     report.set_defaults(handler=_cmd_report)
+
+    merge = sub.add_parser(
+        "merge",
+        help="recombine shard journals into one journal.jsonl "
+             "(report is byte-identical to an unsharded run)",
+    )
+    merge.add_argument("target", help="campaign name or directory")
+    merge.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    merge.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing journal.jsonl",
+    )
+    merge.set_defaults(handler=_cmd_merge)
     return parser
 
 
@@ -142,8 +197,28 @@ def _add_exec_args(sub):
                      help="timing-simulator engine for cell workers "
                           "(default: process default / auto; results "
                           "are engine-independent)")
+    sub.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="split the spec's cells across N shard "
+                          "journals by content-hashed cell ID; this "
+                          "invocation runs one shard (see merge)")
+    sub.add_argument("--shard-index", type=int, default=None,
+                     metavar="I",
+                     help="which shard (0..N-1) this invocation runs "
+                          "(requires --shards)")
     sub.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
                      help=f"campaign root (default {DEFAULT_RESULTS_DIR})")
+
+
+def _resolve_backend(parser, args):
+    """The execution backend the run/resume flags describe."""
+    if args.shards is None and args.shard_index is None:
+        return LocalPoolBackend()
+    if args.shards is None or args.shard_index is None:
+        parser.error("--shards and --shard-index go together")
+    try:
+        return ShardedBackend(args.shards, args.shard_index)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _campaign_dir(target, results_dir):
@@ -156,11 +231,12 @@ def _campaign_dir(target, results_dir):
 
 def _cmd_run(parser, args):
     spec = _resolve_spec(args)
+    backend = _resolve_backend(parser, args)
     name = args.name or spec.name
     directory = os.path.join(args.results_dir, name)
-    journal_path = os.path.join(directory, JOURNAL_NAME)
+    journal_path = os.path.join(directory, backend.journal_name())
     if args.fresh and os.path.exists(directory):
-        for filename in (JOURNAL_NAME, SPEC_NAME):
+        for filename in (backend.journal_name(), SPEC_NAME):
             path = os.path.join(directory, filename)
             if os.path.exists(path):
                 os.remove(path)
@@ -172,8 +248,20 @@ def _cmd_run(parser, args):
             f"(or run --fresh to discard it)"
         )
     os.makedirs(directory, exist_ok=True)
-    spec.dump(os.path.join(directory, SPEC_NAME))
-    return _execute(spec, directory, args, replay(journal_path))
+    spec_path = os.path.join(directory, SPEC_NAME)
+    if os.path.exists(spec_path):
+        # Another shard of the same campaign may have written it
+        # already; identical specs dump identical bytes, mismatched
+        # ones must not share a directory.
+        existing = CampaignSpec.load(spec_path)
+        if existing.spec_hash != spec.spec_hash:
+            parser.error(
+                f"{spec_path} holds spec {existing.spec_hash} but this "
+                f"run resolves to {spec.spec_hash}; refusing to mix"
+            )
+    spec.dump(spec_path)
+    return _execute(spec, directory, args, replay(journal_path),
+                    backend)
 
 
 def _cmd_resume(parser, args):
@@ -182,29 +270,39 @@ def _cmd_resume(parser, args):
     if not os.path.exists(spec_path):
         parser.error(f"no campaign spec at {spec_path}")
     spec = CampaignSpec.load(spec_path)
-    state = replay(os.path.join(directory, JOURNAL_NAME))
+    backend = _resolve_backend(parser, args)
+    state = replay(os.path.join(directory, backend.journal_name()))
     if state.spec_hash is not None and state.spec_hash != spec.spec_hash:
         parser.error(
             f"journal was written for spec {state.spec_hash} but "
             f"{SPEC_NAME} now hashes to {spec.spec_hash}; refusing "
             f"to mix results"
         )
-    return _execute(spec, directory, args, state)
+    return _execute(spec, directory, args, state, backend)
 
 
-def _execute(spec, directory, args, state):
+def _execute(spec, directory, args, state, backend):
     if args.jobs < 1:
         raise ValueError("--jobs must be >= 1")
-    pending = state.pending_cells(spec)
-    total = len(spec.cells())
+    owned = [cell for cell in spec.cells() if backend.owns(cell)]
+    pending = [
+        cell for cell in state.pending_cells(spec)
+        if backend.owns(cell)
+    ]
+    total = len(owned)
+    shard_note = ""
+    if isinstance(backend, ShardedBackend):
+        shard_note = (f" (shard {backend.shard_index}/{backend.shards}: "
+                      f"{total} of {len(spec.cells())} cells)")
     if not pending:
         print(f"campaign {spec.name!r}: all {total} cells already "
-              f"settled; nothing to do")
+              f"settled{shard_note}; nothing to do")
         print(f"  report: python -m repro campaign report {spec.name}")
         return 0
     print(f"campaign {spec.name!r}: {len(pending)}/{total} cells to "
-          f"run under {args.jobs} worker(s) [{directory}]")
-    with Journal(os.path.join(directory, JOURNAL_NAME)) as journal:
+          f"run under {args.jobs} worker(s){shard_note} [{directory}]")
+    with Journal(os.path.join(directory,
+                              backend.journal_name())) as journal:
         journal.campaign_start(spec.name, spec.spec_hash, args.jobs)
         scheduler = Scheduler(
             spec, journal,
@@ -213,6 +311,7 @@ def _execute(spec, directory, args, state):
             backoff=args.backoff,
             cell_timeout=args.timeout,
             sim_engine=args.sim_engine,
+            backend=backend,
         )
         summary = scheduler.run(state, max_cells=args.max_cells)
     completed = len(summary["results"])
@@ -224,8 +323,31 @@ def _execute(spec, directory, args, state):
         print(f"  interrupted with {summary['pending']} cells pending; "
               f"resume with: python -m repro campaign resume {spec.name}")
         return 3
-    print(f"  report: python -m repro campaign report {spec.name}")
+    if isinstance(backend, ShardedBackend):
+        print(f"  merge shards: python -m repro campaign merge "
+              f"{spec.name}")
+    else:
+        print(f"  report: python -m repro campaign report {spec.name}")
     return 0
+
+
+def _warn_unmerged_shards(directory):
+    """Point at ``campaign merge`` when only shard journals exist."""
+    journal_path = os.path.join(directory, JOURNAL_NAME)
+    if os.path.exists(journal_path) \
+            and os.path.getsize(journal_path) > 0:
+        return
+    try:
+        shards = find_shard_journals(directory)
+    except ValueError:
+        return
+    if shards:
+        print(
+            f"note: {len(shards)} unmerged shard journal(s) in "
+            f"{directory}; run 'python -m repro campaign merge "
+            f"{os.path.basename(directory)}' to combine them",
+            file=sys.stderr,
+        )
 
 
 def _cmd_status(parser, args):
@@ -234,6 +356,7 @@ def _cmd_status(parser, args):
     if not os.path.exists(spec_path):
         parser.error(f"no campaign spec at {spec_path}")
     spec = CampaignSpec.load(spec_path)
+    _warn_unmerged_shards(directory)
     state = replay(os.path.join(directory, JOURNAL_NAME))
     print(render_status(spec, state, directory=directory))
     return 0
@@ -245,6 +368,7 @@ def _cmd_report(parser, args):
     if not os.path.exists(spec_path):
         parser.error(f"no campaign spec at {spec_path}")
     spec = CampaignSpec.load(spec_path)
+    _warn_unmerged_shards(directory)
     state = replay(os.path.join(directory, JOURNAL_NAME))
     print(render_report(
         spec, state.results,
@@ -252,6 +376,30 @@ def _cmd_report(parser, args):
         ledgers=state.ledger if args.explain else None,
         resources=state.resources if args.resources else None,
     ))
+    return 0
+
+
+def _cmd_merge(parser, args):
+    directory = _campaign_dir(args.target, args.results_dir)
+    if not os.path.isdir(directory):
+        parser.error(f"no campaign directory at {directory}")
+    summary = merge_shard_journals(directory, force=args.force)
+    present = len(summary["shards"])
+    expected = summary["shard_count"]
+    print(f"merged {present}/{expected} shard journal(s) "
+          f"({summary['records']} records) into {summary['output']}")
+    if summary["corrupt_lines"]:
+        print(f"  skipped {summary['corrupt_lines']} corrupt "
+              f"(torn-tail) line(s)")
+    if present < expected:
+        missing = sorted(
+            set(range(expected))
+            - {index for index, _ in summary["shards"]}
+        )
+        print(f"  warning: shard(s) {missing} missing — their cells "
+              f"will show as pending", file=sys.stderr)
+    print(f"  report: python -m repro campaign report "
+          f"{os.path.basename(directory)}")
     return 0
 
 

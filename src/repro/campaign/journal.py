@@ -20,6 +20,7 @@ spec is the *entire* resume protocol — there is no other state.
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 
@@ -28,6 +29,12 @@ JOURNAL_NAME = "journal.jsonl"
 
 #: Spec file name inside a campaign directory.
 SPEC_NAME = "spec.json"
+
+#: Shard journals written by the sharded backend (see
+#: :mod:`repro.campaign.backends`): ``journal.shard-I-of-N.jsonl``.
+SHARD_JOURNAL_RE = re.compile(
+    r"^journal\.shard-(\d+)-of-(\d+)\.jsonl$"
+)
 
 
 class Journal:
@@ -210,3 +217,99 @@ def _apply(state, record):
     elif kind == "cell.quarantine":
         state.quarantined.add(cell_id)
     # Unknown record types are ignored so newer journals still replay.
+
+
+# -- shard journals ------------------------------------------------------
+
+
+def find_shard_journals(directory):
+    """Shard journals in a campaign directory, sorted by shard index.
+
+    Returns ``[(index, count, path), ...]``.  Raises :class:`ValueError`
+    when the shards disagree on the shard count or repeat an index —
+    mixing journals from differently-sharded runs would silently drop
+    or duplicate cells.
+    """
+    shards = []
+    for name in sorted(os.listdir(directory)):
+        match = SHARD_JOURNAL_RE.match(name)
+        if match:
+            index, count = int(match.group(1)), int(match.group(2))
+            shards.append((index, count, os.path.join(directory, name)))
+    if not shards:
+        return []
+    counts = {count for _, count, _ in shards}
+    if len(counts) != 1:
+        raise ValueError(
+            f"shard journals disagree on the shard count: "
+            f"{sorted(counts)} — refusing to merge mixed shardings"
+        )
+    indexes = [index for index, _, _ in shards]
+    if len(set(indexes)) != len(indexes):
+        raise ValueError("duplicate shard journal index")
+    return sorted(shards)
+
+
+def merge_shard_journals(directory, output=None, force=False):
+    """Recombine shard journals into one ``journal.jsonl``.
+
+    Concatenates the shard journals' durable records in shard-index
+    order (corrupt torn-tail lines are skipped and counted, exactly as
+    :func:`replay` would skip them).  The merged journal replays to the
+    union of the shards' states, and because shard ownership partitions
+    the cell-ID space, ``campaign report`` over the merge is
+    byte-identical to the report of an unsharded run of the same spec.
+
+    Refuses to overwrite an existing non-empty ``journal.jsonl``
+    unless ``force``; refuses journals with mismatched spec hashes.
+    Returns a summary dict (shards, records, corrupt lines, output
+    path).
+    """
+    shards = find_shard_journals(directory)
+    if not shards:
+        raise ValueError(f"no shard journals under {directory}")
+    output = output or os.path.join(directory, JOURNAL_NAME)
+    if not force and os.path.exists(output) \
+            and os.path.getsize(output) > 0:
+        raise ValueError(
+            f"{output} already exists; use --force to overwrite it"
+        )
+    lines = []
+    records = 0
+    corrupt = 0
+    spec_hashes = set()
+    for _, _, path in shards:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    corrupt += 1
+                    continue
+                if record.get("type") == "campaign.start":
+                    spec_hashes.add(record.get("spec_hash"))
+                records += 1
+                lines.append(line)
+    if len(spec_hashes) > 1:
+        raise ValueError(
+            f"shard journals mix spec hashes "
+            f"{sorted(map(str, spec_hashes))}; refusing to merge"
+        )
+    tmp = output + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, output)
+    return {
+        "output": output,
+        "shards": [(index, count) for index, count, _ in shards],
+        "shard_count": shards[0][1],
+        "records": records,
+        "corrupt_lines": corrupt,
+        "spec_hash": next(iter(spec_hashes)) if spec_hashes else None,
+    }

@@ -1,7 +1,12 @@
 """The fault-tolerant campaign scheduler.
 
-Each cell attempt runs in its *own* forked worker process, which buys
-three properties the plain :class:`~concurrent.futures.ProcessPoolExecutor`
+The scheduler owns campaign *policy* — launch order, retry budgets,
+backoff, quarantine, journaling — and delegates the *mechanics* of
+running a cell attempt to a pluggable execution backend
+(:mod:`repro.campaign.backends`).  Under the default
+:class:`~repro.campaign.backends.LocalPoolBackend`, each cell attempt
+runs in its *own* forked worker process, which buys three properties
+the plain :class:`~concurrent.futures.ProcessPoolExecutor`
 cannot offer:
 
 - **timeout enforcement** — a cell that exceeds its budget is
@@ -24,15 +29,12 @@ and ``campaign.cell.*`` trace events.
 """
 
 import heapq
-import multiprocessing
 import time
-from multiprocessing.connection import wait as connection_wait
 
+from repro.campaign.backends import LocalPoolBackend, cell_usage
 from repro.campaign.spec import resolve_cell_fn
 from repro.obs import events
 from repro.obs.context import get_metrics, get_phases, get_tracer
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.timers import PhaseProfile
 
 #: Total attempts (first try + retries) before a cell is quarantined.
 DEFAULT_MAX_ATTEMPTS = 3
@@ -42,6 +44,10 @@ DEFAULT_BACKOFF = 0.5
 
 #: How long the scheduler sleeps waiting for worker events.
 _POLL_SECONDS = 0.05
+
+#: Backwards-compatible alias (the worker helpers moved to
+#: :mod:`repro.campaign.backends` with the backend extraction).
+_cell_usage = cell_usage
 
 
 def _analysis_cache_stats(metrics_snapshot):
@@ -57,77 +63,13 @@ def _analysis_cache_stats(metrics_snapshot):
     }
 
 
-def _cell_usage():
-    """CPU time and peak RSS of this worker process, for the journal.
-
-    Meaningful per cell because every attempt runs in its own forked
-    process (``RUSAGE_SELF`` covers exactly this cell's work plus the
-    negligible fork preamble).  Returns None on platforms without
-    :mod:`resource`.
-    """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover — POSIX-only module
-        return None
-    usage = resource.getrusage(resource.RUSAGE_SELF)
-    return {
-        "user_seconds": round(usage.ru_utime, 6),
-        "system_seconds": round(usage.ru_stime, 6),
-        "max_rss_kb": int(usage.ru_maxrss),
-    }
-
-
-def _cell_worker(conn, fn, params, sim_engine=None):
-    """Run one cell under fresh telemetry; ship outcome over the pipe."""
-    from repro.obs.context import telemetry
-
-    if sim_engine is not None:
-        # Set explicitly rather than relying on fork inheritance, so
-        # the engine choice survives a switch to a spawn context.
-        from repro.uarch import set_default_engine
-
-        set_default_engine(sim_engine)
-    registry = MetricsRegistry()
-    phases = PhaseProfile()
-    try:
-        with telemetry(metrics=registry, phases=phases):
-            result = fn(params)
-        payload = {
-            "ok": True,
-            "result": result,
-            "metrics": registry.as_dict(),
-            "phases": phases.as_dict(),
-            "spans": phases.spans_as_dict(),
-            "resources": _cell_usage(),
-        }
-    except BaseException as exc:  # noqa: BLE001 — must reach the parent
-        payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    try:
-        conn.send(payload)
-    finally:
-        conn.close()
-
-
-class _Attempt:
-    """One live worker process for one cell attempt."""
-
-    __slots__ = ("cell", "attempt", "process", "conn", "started")
-
-    def __init__(self, cell, attempt, process, conn):
-        self.cell = cell
-        self.attempt = attempt
-        self.process = process
-        self.conn = conn
-        self.started = time.monotonic()
-
-
 class Scheduler:
-    """Drains a campaign's pending cells through worker processes."""
+    """Drains a campaign's pending cells through an execution backend."""
 
     def __init__(self, spec, journal, jobs=1,
                  max_attempts=DEFAULT_MAX_ATTEMPTS,
                  backoff=DEFAULT_BACKOFF, cell_timeout=None,
-                 sim_engine=None):
+                 sim_engine=None, backend=None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
@@ -143,7 +85,11 @@ class Scheduler:
         #: Timing-simulator engine for cell workers (None = inherit
         #: the process default; stats are engine-independent).
         self.sim_engine = sim_engine
-        self._ctx = multiprocessing.get_context("fork")
+        #: Execution backend (see :mod:`repro.campaign.backends`);
+        #: the default local fork-per-cell pool is journal-identical
+        #: to the pre-backend scheduler.
+        self.backend = backend if backend is not None \
+            else LocalPoolBackend()
         self._fn = resolve_cell_fn(spec.cell)
         #: Optional parent-side warm hook (``fn.prepare``): builds the
         #: cell's artifacts and shared analysis before forking, so all
@@ -157,11 +103,16 @@ class Scheduler:
         ``state`` is the replayed :class:`~repro.campaign.journal.JournalState`
         (fresh campaigns pass an empty one); completed and quarantined
         cells are skipped, and prior failed attempts count toward the
-        quarantine budget.  ``max_cells`` stops after that many cell
+        quarantine budget.  Cells the backend does not own (other
+        shards' work) are skipped entirely — they are neither run nor
+        counted as pending.  ``max_cells`` stops after that many cell
         completions this session (the deterministic stand-in for an
         interrupted run, used by tests and the CI smoke job).
         """
-        pending = state.pending_cells(self.spec)
+        pending = [
+            cell for cell in state.pending_cells(self.spec)
+            if self.backend.owns(cell)
+        ]
         failures = dict(state.failures)
         results = dict(state.results)
         quarantined = set(state.quarantined)
@@ -228,7 +179,7 @@ class Scheduler:
             interrupted = True
             raise
         finally:
-            self._terminate(running.values())
+            self.backend.terminate(running.values())
         return {
             "results": results,
             "failures": failures,
@@ -256,29 +207,20 @@ class Scheduler:
                 campaign=self.spec.name, cell_id=cell.cell_id,
                 label=cell.label(), attempt=attempt,
             ))
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_cell_worker,
-            args=(child_conn, self._fn, cell.params, self.sim_engine),
-            daemon=True,
+        return self.backend.launch(
+            self._fn, cell, attempt, sim_engine=self.sim_engine
         )
-        process.start()
-        child_conn.close()
-        return _Attempt(cell, attempt, process, parent_conn)
 
     def _reap(self, running):
         """Attempts that finished, crashed, or timed out this tick."""
-        done = []
-        conns = {task.conn: task for task in running.values()}
-        for conn in connection_wait(list(conns), timeout=_POLL_SECONDS):
-            done.append(conns[conn])
+        done = self.backend.wait(running.values(), _POLL_SECONDS)
         now = time.monotonic()
         for task in running.values():
             if task in done:
                 continue
             timed_out = (self.cell_timeout is not None
                          and now - task.started > self.cell_timeout)
-            if timed_out or not task.process.is_alive():
+            if timed_out or not self.backend.alive(task):
                 done.append(task)
         for task in done:
             del running[task.cell.cell_id]
@@ -287,19 +229,14 @@ class Scheduler:
     def _settle(self, task):
         """Classify one finished attempt; journal and count it."""
         elapsed = time.monotonic() - task.started
-        payload = None
         timed_out = (self.cell_timeout is not None
                      and elapsed > self.cell_timeout
-                     and task.process.is_alive())
-        if not timed_out and task.conn.poll():
-            try:
-                payload = task.conn.recv()
-            except (EOFError, OSError):
-                payload = None
-        if task.process.is_alive():
-            task.process.terminate()
-        task.process.join()
-        task.conn.close()
+                     and self.backend.alive(task))
+        payload = self.backend.collect(task)
+        if timed_out:
+            # The budget was blown while the worker still ran; any
+            # payload it raced in on the way down is discarded.
+            payload = None
 
         cell_id = task.cell.cell_id
         if payload is not None and payload.get("ok"):
@@ -343,7 +280,8 @@ class Scheduler:
             kind, error = "exception", payload.get("error", "unknown")
         else:
             kind, error = "crash", (
-                f"worker died with exit code {task.process.exitcode}"
+                f"worker died with exit code "
+                f"{self.backend.exitcode(task)}"
             )
         self.journal.cell_fail(cell_id, task.attempt, kind, error, elapsed)
         tracer = get_tracer()
@@ -363,16 +301,3 @@ class Scheduler:
                 campaign=self.spec.name, cell_id=task.cell.cell_id,
                 attempts=task.attempt,
             ))
-
-    @staticmethod
-    def _terminate(tasks):
-        tasks = list(tasks)
-        for task in tasks:
-            if task.process.is_alive():
-                task.process.terminate()
-        for task in tasks:
-            task.process.join(timeout=2.0)
-            if task.process.is_alive():
-                task.process.kill()
-                task.process.join()
-            task.conn.close()

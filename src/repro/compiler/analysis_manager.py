@@ -75,6 +75,10 @@ class AnalysisManager:
         if entry is not None:
             entry.invalidate_paths()
 
+    def stats(self):
+        """Occupancy summary (the serve daemon's ``/healthz`` reports it)."""
+        return {"entries": len(self._entries), "capacity": self.capacity}
+
     def clear(self):
         self._entries.clear()
 

@@ -237,24 +237,54 @@ def _decode(blob):
 # -- maintenance ---------------------------------------------------------
 
 
+def format_size(num_bytes):
+    """Human-readable size: ``0 B``, ``512 B``, ``3.4 KiB``, ``1.2 MiB``."""
+    if num_bytes < 1024:
+        return f"{num_bytes} B"
+    value = float(num_bytes)
+    for unit in ("KiB", "MiB", "GiB", "TiB"):
+        value /= 1024.0
+        if value < 1024.0:
+            return f"{value:.1f} {unit}"
+    return f"{value:.1f} PiB"
+
+
 def info():
-    """Summary of the cache directory for ``python -m repro cache info``."""
+    """Summary of the cache directory for ``python -m repro cache info``.
+
+    The ``dir``/``enabled``/``entries``/``bytes``/``format_version``
+    keys are a stable machine-readable contract; ``kinds`` adds
+    per-kind entry/byte counts (``artifact`` entries plus any ``tmp``
+    leftovers from interrupted writes).
+    """
     root = cache_dir()
     entries = 0
     total_bytes = 0
+    kinds = {}
     if os.path.isdir(root):
         for name in os.listdir(root):
             if name.endswith(ENTRY_SUFFIX):
+                kind = "artifact"
+            elif name.endswith(".tmp"):
+                kind = "tmp"
+            else:
+                continue
+            try:
+                size = os.path.getsize(os.path.join(root, name))
+            except OSError:
+                size = 0
+            bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            if kind == "artifact":
                 entries += 1
-                try:
-                    total_bytes += os.path.getsize(os.path.join(root, name))
-                except OSError:
-                    pass
+                total_bytes += size
     return {
         "dir": root,
         "enabled": enabled(),
         "entries": entries,
         "bytes": total_bytes,
+        "kinds": kinds,
         "format_version": FORMAT_VERSION,
     }
 

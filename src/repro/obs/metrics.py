@@ -111,6 +111,27 @@ class Histogram:
             return 0.0
         return self.sum / self.total
 
+    def quantile(self, q):
+        """Upper-bound estimate of the q-th quantile (0 <= q <= 1).
+
+        Returns the inclusive upper bound of the bucket containing the
+        q-th observation, ``float('inf')`` when it falls in the
+        overflow bucket, and ``None`` for an empty histogram.  Bucket
+        resolution bounds the error — good enough for the latency
+        summaries ``/healthz`` and the benchmarks report.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return None
+        rank = q * self.total
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
     def as_dict(self):
         return {
             "kind": self.kind,

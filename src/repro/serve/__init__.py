@@ -1,0 +1,25 @@
+"""``python -m repro serve`` — the warm-state serving daemon.
+
+Amortizes process startup, decode tables, artifact building, and the
+shared :class:`~repro.compiler.AnalysisManager` across many requests:
+the daemon holds them as warm process state and answers
+
+- ``POST /v1/compile``  — the annotation JSON ``repro compile`` prints,
+- ``POST /v1/simulate`` — one campaign cell's deterministic result,
+- ``POST /v1/explain``  — the join ``repro explain --json`` prints,
+- ``GET /healthz``      — warm-state and liveness summary,
+- ``GET /metrics``      — the registry as OpenMetrics text,
+
+with every ``/v1`` response *byte-identical* to the corresponding CLI
+output for the same parameters (see ``docs/serving.md``).  Concurrent
+identical requests are coalesced single-flight: one computation runs,
+every waiter gets the same bytes, keyed on the same content hashes the
+campaign layer uses for cell identity.
+
+Stdlib only — :mod:`http.server` threads, no web framework.
+"""
+
+from repro.serve.app import ServeApp, SingleFlight
+from repro.serve.daemon import build_server, main
+
+__all__ = ["ServeApp", "SingleFlight", "build_server", "main"]

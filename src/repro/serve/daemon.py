@@ -1,0 +1,233 @@
+"""The HTTP daemon: ``python -m repro serve --port N``.
+
+Stdlib :class:`~http.server.ThreadingHTTPServer` — one thread per
+request, the :class:`~repro.serve.app.ServeApp` underneath holding the
+warm state.  The server is configured for *graceful drain*:
+``daemon_threads`` is off and ``block_on_close`` on, so a SIGINT or
+SIGTERM stops accepting new connections, lets every in-flight request
+finish, and only then exits — with the interrupt convention shared by
+the campaign CLI (exit 130 for SIGINT, 143 for SIGTERM), no traceback.
+
+The signal handler must not call :meth:`~socketserver.BaseServer.shutdown`
+directly: the handler runs on the main thread, which is *inside*
+``serve_forever``, and ``shutdown`` blocks until ``serve_forever``
+exits — a deadlock.  A helper thread makes the call instead.
+"""
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.app import ServeApp
+
+#: Default listen address.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Exit codes for the two drain signals (128 + signal number).
+EXIT_SIGINT = 130
+EXIT_SIGTERM = 143
+
+
+class ServeServer(ThreadingHTTPServer):
+    """Threaded HTTP server that drains in-flight requests on close."""
+
+    #: Handler threads are joined by ``server_close`` (the drain).
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address, app, verbose=False):
+        self.app = app
+        self.verbose = verbose
+        super().__init__(address, RequestHandler)
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` POSTs and the two GET endpoints to the app."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status, body, content_type="application/json"):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status, message):
+        body = (json.dumps({"error": message}, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        self._send(status, body)
+
+    def do_GET(self):
+        app = self.server.app
+        if self.path == "/healthz":
+            status, body = app.healthz()
+            self._send(status, body)
+        elif self.path == "/metrics":
+            status, body = app.metrics()
+            self._send(
+                status, body,
+                content_type=(
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8"
+                ),
+            )
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self):
+        if not self.path.startswith("/v1/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        endpoint = self.path[len("/v1/"):]
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self._error(400, "bad Content-Length")
+            return
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._error(400, "request body is not valid JSON")
+            return
+        status, response = self.server.app.handle(endpoint, body)
+        self._send(status, response)
+
+
+def build_server(address, app=None, verbose=False):
+    """A ready-to-serve :class:`ServeServer` (tests drive this directly).
+
+    ``address`` is ``(host, port)``; port 0 binds an ephemeral port —
+    read the actual one back from ``server.server_address``.
+    """
+    return ServeServer(address, app if app is not None else ServeApp(),
+                       verbose=verbose)
+
+
+def _warm(benchmarks, scale):
+    """Pre-build artifacts and shared analyses before serving."""
+    from repro.compiler import shared_manager
+    from repro.experiments.runner import get_artifacts
+
+    for benchmark in benchmarks:
+        artifacts = get_artifacts(benchmark, scale=scale)
+        shared_manager().analysis(artifacts.program, artifacts.profile)
+        print(f"[serve] warmed {benchmark} (scale {scale:g})",
+              flush=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Warm-state serving daemon for compile/simulate/explain "
+            "requests (see docs/serving.md)."
+        ),
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; "
+                             f"0 = ephemeral, printed at startup)")
+    parser.add_argument("--warm", default="", metavar="BENCHMARKS",
+                        help="comma-separated benchmarks to pre-build "
+                             "artifacts for before serving")
+    parser.add_argument("--warm-scale", type=float, default=1.0,
+                        metavar="S",
+                        help="trace scale used by --warm (default 1.0)")
+    parser.add_argument("--sim-engine",
+                        choices=("auto", "scalar", "vectorized"),
+                        default=None,
+                        help="process-default timing-simulator engine "
+                             "(per-request 'engine' fields override it; "
+                             "results are engine-independent)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent artifact cache directory")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="skip the persistent artifact cache")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+
+    if args.sim_engine is not None:
+        from repro.uarch import set_default_engine
+
+        set_default_engine(args.sim_engine)
+    if args.cache_dir:
+        from repro.exec import artifact_cache
+
+        artifact_cache.set_cache_dir(args.cache_dir)
+    if args.no_disk_cache:
+        from repro.exec import artifact_cache
+
+        artifact_cache.set_disabled(True)
+
+    app = ServeApp()
+    try:
+        server = build_server((args.host, args.port), app,
+                              verbose=args.verbose)
+    except OSError as exc:
+        print(f"python -m repro serve: error: cannot bind "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+    warm_list = [b.strip() for b in args.warm.split(",") if b.strip()]
+    if warm_list:
+        _warm(warm_list, args.warm_scale)
+
+    stop = {"signum": None}
+
+    def request_shutdown(signum, frame):
+        if stop["signum"] is not None:
+            return  # already draining; a second signal changes nothing
+        stop["signum"] = signum
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, request_shutdown)
+        except ValueError:  # pragma: no cover — not the main thread
+            pass
+
+    host, port = server.server_address[:2]
+    # The serving line is a contract: tests and the CI smoke job parse
+    # the bound port out of it (needed for --port 0).
+    print(f"[serve] listening on http://{host}:{port} "
+          f"(endpoints: /v1/compile /v1/simulate /v1/explain "
+          f"/healthz /metrics)", flush=True)
+    from repro.obs.context import telemetry
+
+    try:
+        # Install the app's registry as the process-wide metrics sink:
+        # the telemetry context is module-global, so every request
+        # thread's counters (cache hits, campaign counters, serve_*)
+        # land where GET /metrics reads them.
+        with telemetry(metrics=app.registry):
+            server.serve_forever()
+    finally:
+        server.server_close()  # joins handler threads: the drain
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    if stop["signum"] == signal.SIGTERM:
+        print("[serve] drained and stopped (SIGTERM)", flush=True)
+        return EXIT_SIGTERM
+    if stop["signum"] == signal.SIGINT:
+        print("[serve] drained and stopped (SIGINT)", flush=True)
+        return EXIT_SIGINT
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

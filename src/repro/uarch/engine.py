@@ -23,6 +23,7 @@ identity.
 """
 
 import os
+import threading
 from contextlib import contextmanager
 
 from repro.errors import SimulationError
@@ -36,9 +37,24 @@ ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
 
 _default_engine = None
 
+#: Per-thread override (outranks the process default).  The serving
+#: daemon handles each request in its own thread, so a per-request
+#: ``engine`` field must not leak into concurrent requests the way a
+#: process-global would.
+_thread_engine = threading.local()
+
 
 def get_default_engine():
-    """The process-default engine: CLI override, else env, else auto."""
+    """The default engine for *this thread*.
+
+    Precedence: an active :func:`engine_override` on this thread, else
+    the process default (CLI ``--sim-engine`` /
+    :func:`set_default_engine`), else :envvar:`REPRO_SIM_ENGINE`, else
+    ``auto``.
+    """
+    local = getattr(_thread_engine, "engine", None)
+    if local is not None:
+        return local
     if _default_engine is not None:
         return _default_engine
     env = os.environ.get(ENV_SIM_ENGINE, "").strip().lower()
@@ -58,16 +74,27 @@ def set_default_engine(engine):
 
 @contextmanager
 def engine_override(engine):
-    """Temporarily set the process default (``None`` is a no-op)."""
+    """Temporarily override the engine for this thread (``None`` no-op).
+
+    Thread-local on purpose: concurrent serve requests each resolve
+    their own override without racing on the process default, while
+    single-threaded callers (the ``profile`` CLI, tests) observe
+    exactly the old set-then-restore semantics.
+    """
     if engine is None:
         yield
         return
-    previous = _default_engine
-    set_default_engine(engine)
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown sim engine {engine!r} "
+            f"(choose from {', '.join(ENGINES)})"
+        )
+    previous = getattr(_thread_engine, "engine", None)
+    _thread_engine.engine = engine
     try:
         yield
     finally:
-        set_default_engine(previous)
+        _thread_engine.engine = previous
 
 
 def _numpy_available():

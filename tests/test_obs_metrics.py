@@ -66,6 +66,22 @@ class TestHistogram:
         assert snapshot["buckets"] == {"1": 1, "2": 0}
         assert snapshot["count"] == 1
 
+    def test_quantile_returns_bucket_upper_bounds(self):
+        hist = Histogram("h", (1, 5, 10))
+        for value in (0, 1, 2, 5, 10, 10):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 5
+        assert hist.quantile(0.25) == 1
+        assert hist.quantile(1.0) == 10
+
+    def test_quantile_overflow_and_empty(self):
+        hist = Histogram("h", (1,))
+        assert hist.quantile(0.5) is None
+        hist.observe(100)
+        assert hist.quantile(0.5) == float("inf")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
 
 class TestRegistry:
     def test_lookup_is_idempotent(self):
