@@ -1,0 +1,115 @@
+"""Static-melding benchmarks: rewrite throughput + checked replay.
+
+Times the two costs the MeldPass adds to the toolflow on two
+workloads: the structural rewrite itself (matcher + CMOV rewrite,
+which every ``meld`` compile pays) and the *checked* melded replay —
+functional execution of the melded program followed by the
+architectural-equivalence assertion against the original's final
+state, the invariant the ``meld-equivalence`` CI job guards.  The
+measured figures land in ``benchmarks/results/BENCH_meld.json`` and
+feed the benchmark trajectory gate.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.compiler.transform import (
+    MELD_MAX_SIDE_INSTS,
+    apply_meld,
+    find_meld_candidates,
+)
+from repro.emulator import execute
+from repro.experiments.meldcompare import MELD_BUDGET_FACTOR, assert_equivalent
+from repro.workloads import load_benchmark
+
+from conftest import bench_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Two workloads keep the equivalence check cheap but non-trivial —
+#: vpr melds multiple diamonds, gcc exercises one-sided hammocks.
+BENCHMARKS = ("vpr", "gcc")
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: load_benchmark(name, scale=bench_scale())
+            for name in BENCHMARKS}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def meld_report():
+    yield
+    if not _RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "benchmarks": list(BENCHMARKS),
+        "scale": bench_scale(),
+        **{name: value for name, value in sorted(_RESULTS.items())},
+    }
+    path = RESULTS_DIR / "BENCH_meld.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] meld timings written to {path}")
+
+
+def _rewrite_all(workloads):
+    results = {}
+    for name, workload in workloads.items():
+        program = workload.program
+        candidates = find_meld_candidates(program, MELD_MAX_SIDE_INSTS)
+        results[name] = apply_meld(program, candidates)
+    return results
+
+
+def test_meld_rewrite_throughput(benchmark, workloads):
+    results = benchmark.pedantic(
+        lambda: _rewrite_all(workloads), rounds=3, iterations=1
+    )
+    hammocks = sum(len(r.melded) for r in results.values())
+    assert hammocks > 0, "expected at least one meldable hammock"
+    seconds = benchmark.stats.stats.min
+    _RESULTS["melded_hammocks"] = hammocks
+    _RESULTS["meld_rewrites_per_sec"] = len(BENCHMARKS) / seconds
+    _RESULTS["meld_hammocks_per_sec"] = hammocks / seconds
+
+
+def test_checked_melded_replay_throughput(benchmark, workloads):
+    """Melded replay + equivalence assertion, per workload."""
+    rewrites = _rewrite_all(workloads)
+    originals = {}
+    for name, workload in workloads.items():
+        _, result = execute(
+            workload.program,
+            memory=dict(workload.memory),
+            max_instructions=workload.max_instructions,
+        )
+        assert result.halted
+        originals[name] = result.state
+
+    def replay_and_check():
+        for name, workload in workloads.items():
+            rewrite = rewrites[name]
+            if not rewrite.changed:
+                continue
+            _, result = execute(
+                rewrite.program,
+                memory=dict(workload.memory),
+                max_instructions=(
+                    workload.max_instructions * MELD_BUDGET_FACTOR
+                ),
+            )
+            assert result.halted
+            assert_equivalent(name, originals[name], result.state)
+
+    benchmark.pedantic(replay_and_check, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.min
+    _RESULTS["checked_replay_seconds"] = seconds
+    _RESULTS["checked_replays_per_sec"] = len(BENCHMARKS) / seconds

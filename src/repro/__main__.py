@@ -56,6 +56,7 @@ import sys
 from repro.exec import artifact_cache, default_jobs
 from repro.experiments import (
     ablations,
+    meldcompare,
     priorwork,
     fig5,
     fig6,
@@ -88,6 +89,7 @@ ARTIFACTS = {
     "fig9": fig9,
     "fig10": fig10,
     "priorwork": priorwork,
+    "meldcompare": meldcompare,
 }
 
 #: Where ``python -m repro all`` writes its combined manifest unless

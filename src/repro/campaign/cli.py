@@ -51,10 +51,11 @@ DEFAULT_RESULTS_DIR = os.path.join("results", "campaigns")
 
 def builtin_specs():
     """Named spec builders: ``(scale, benchmarks) -> CampaignSpec``."""
-    from repro.experiments import ablations, fig7
+    from repro.experiments import ablations, fig7, meldcompare
 
     return {
         "fig7": fig7.campaign_spec,
+        "meld": meldcompare.campaign_spec,
         "confidence-threshold":
             ablations.campaign_spec_confidence_threshold,
         "predictor-sensitivity":

@@ -40,6 +40,15 @@ from repro.compiler.pipeline import (
     run_selection_pipeline,
 )
 from repro.compiler.registry import names, register, resolve
+from repro.compiler.transform import (
+    MeldPass,
+    TransformPass,
+    TransformResult,
+    apply_meld,
+    apply_transform,
+    find_meld_candidates,
+    select_meld_candidates,
+)
 
 __all__ = [
     "AnalysisManager",
@@ -49,6 +58,7 @@ __all__ = [
     "FinishPass",
     "FreqCandidatesPass",
     "LoopPass",
+    "MeldPass",
     "MinMispRateFilterPass",
     "Pass",
     "Pipeline",
@@ -56,8 +66,13 @@ __all__ = [
     "ReturnCFMPass",
     "SelectionState",
     "ShortHammockPass",
+    "TransformPass",
+    "TransformResult",
     "TwoDProfileFilterPass",
+    "apply_meld",
+    "apply_transform",
     "context_for_config",
+    "find_meld_candidates",
     "format_spec",
     "names",
     "parse_spec",
@@ -65,5 +80,6 @@ __all__ = [
     "reset_shared_manager",
     "resolve",
     "run_selection_pipeline",
+    "select_meld_candidates",
     "shared_manager",
 ]

@@ -19,6 +19,36 @@ import argparse
 import sys
 
 
+def _print_transform_diff(original, state):
+    """Unified before/after disassembly diff of a rewriting pipeline.
+
+    Annotation-only pipelines leave the program untouched, so the diff
+    is empty — a one-line note says so instead of printing nothing.
+    """
+    import difflib
+
+    transform = state.transform
+    if transform is None or not transform.changed:
+        print("# no transform pass rewrote the program "
+              "(annotation-only pipeline)")
+        return
+    before = original.disassemble().splitlines()
+    after = transform.program.disassemble().splitlines()
+    diff = difflib.unified_diff(
+        before, after,
+        fromfile=f"{original.name} (original)",
+        tofile=f"{transform.program.name} (transformed)",
+        lineterm="",
+    )
+    for line in diff:
+        print(line)
+    melds = ", ".join(
+        f"pc {pc}->{record.new_pc} ({record.kind})"
+        for pc, record in sorted(transform.melded.items())
+    )
+    print(f"# melded {len(transform.melded)} hammock(s): {melds}")
+
+
 def main(argv=None):
     from repro.compiler import registry
     from repro.compiler.pipeline import format_spec, parse_spec
@@ -67,6 +97,13 @@ def main(argv=None):
         help="write the annotation JSON here (default: stdout)",
     )
     parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="print a unified before/after disassembly diff of any "
+             "program-rewriting passes (empty for annotation-only "
+             "pipelines)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list registered presets (with their canonical specs) "
@@ -92,7 +129,8 @@ def main(argv=None):
         print(f"python -m repro compile: error: {exc}", file=sys.stderr)
         return 2
 
-    from repro.core import DivergeSelector, annotation_io
+    from repro.compiler.pipeline import run_selection_pipeline
+    from repro.core import annotation_io
     from repro.errors import ReproError
     from repro.experiments.runner import get_artifacts
 
@@ -104,11 +142,14 @@ def main(argv=None):
         print(f"python -m repro compile: error: {exc}", file=sys.stderr)
         return 1
 
-    selector = DivergeSelector(
+    state = run_selection_pipeline(
         artifacts.program, artifacts.profile, config
     )
-    annotation = selector.select()
+    annotation = state.annotation
     text = annotation_io.dumps(annotation)
+
+    if args.diff:
+        _print_transform_diff(artifacts.program, state)
 
     if args.output:
         from repro.ioutil import ensure_parent

@@ -35,12 +35,13 @@ class CompileContext:
     __slots__ = (
         "program", "profile", "analysis", "thresholds", "cost_method",
         "cost_params", "min_misp_rate", "two_d_profile", "tracer",
-        "ledger", "current_pass",
+        "ledger", "current_pass", "manager",
     )
 
     def __init__(self, program, profile, analysis, thresholds,
                  cost_method=None, cost_params=None, min_misp_rate=0.0,
-                 two_d_profile=None, tracer=None, ledger=None):
+                 two_d_profile=None, tracer=None, ledger=None,
+                 manager=None):
         self.program = program
         self.profile = profile
         self.analysis = analysis
@@ -58,6 +59,10 @@ class CompileContext:
         #: The running pass's name — the pipeline maintains this so
         #: ledger decisions attribute to the pass that made them.
         self.current_pass = ""
+        #: The :class:`~repro.compiler.analysis_manager.AnalysisManager`
+        #: the analysis came from (or ``None``) — transform passes
+        #: re-fetch through it after mutating the program.
+        self.manager = manager
 
     # -- verdict emission (shared by every pass) ------------------------
 
@@ -117,6 +122,10 @@ class SelectionState:
     #: ``None``), mirrored here by the pipeline so callers that only
     #: see the final state can still read the decisions.
     ledger: object = None
+    #: The :class:`~repro.compiler.transform.TransformResult` of a
+    #: transform pass that mutated the program (or ``None``).  The
+    #: annotation's pcs refer to ``transform.program`` when set.
+    transform: object = None
 
 
 class Pass:

@@ -13,15 +13,20 @@ Spec grammar (comma-separated tokens, order-insensitive — the builder
 always normalizes to the canonical schedule below)::
 
     spec   := token ("," token)*
-    token  := "exact" | "freq" | "short" | "ret" | "loop"
+    token  := "meld" | "meld:short" | "meld:all"
+            | "exact" | "freq" | "short" | "ret" | "loop"
             | "cost" | "cost:edge" | "cost:long"
             | "minmisp:" FLOAT
 
-Canonical schedule: exact → freq → minmisp → 2d → short → cost →
-finish → ret → loop, with producer/filter passes included only when
-enabled.  This is the paper's Figure 5 composition order and is what
-the legacy ``DivergeSelector`` always did; the equivalence tests pin
-it byte-for-byte.
+Canonical schedule: meld → exact → freq → minmisp → 2d → short →
+cost → finish → ret → loop, with producer/filter passes included only
+when enabled.  ``meld`` (bare form = ``meld:short``) schedules the
+static if-conversion :class:`~repro.compiler.transform.MeldPass`
+*first*: it rewrites the program, so every selection pass after it
+compiles the transformed code.  The annotation-only schedule (exact →
+… → loop) is the paper's Figure 5 composition order and is what the
+legacy ``DivergeSelector`` always did; the equivalence tests pin it
+byte-for-byte.
 """
 
 import time
@@ -50,6 +55,8 @@ from repro.obs.timers import phase
 _FLAG_TOKENS = ("exact", "freq", "short", "ret", "loop")
 #: Cost-model methods the ``cost:`` token accepts.
 _COST_METHODS = ("edge", "long")
+#: Transform modes the ``meld`` token accepts (bare = ``short``).
+_MELD_MODES = ("short", "all")
 
 
 def parse_spec(spec, thresholds=None, name=None):
@@ -67,8 +74,21 @@ def parse_spec(spec, thresholds=None, name=None):
     flags = dict.fromkeys(_FLAG_TOKENS, False)
     cost_model = None
     min_misp_rate = 0.0
+    meld = None
     for token in tokens:
-        if token in flags:
+        if token == "meld" or token.startswith("meld:"):
+            mode = token[5:] if token.startswith("meld:") else "short"
+            if mode not in _MELD_MODES:
+                raise ValueError(
+                    f"unknown meld mode {mode!r} in {token!r}; "
+                    f"expected one of {', '.join(_MELD_MODES)}"
+                )
+            if meld is not None:
+                raise ValueError(
+                    f"duplicate meld token in pipeline spec {spec!r}"
+                )
+            meld = mode
+        elif token in flags:
             if flags[token]:
                 raise ValueError(
                     f"duplicate pass {token!r} in pipeline spec {spec!r}"
@@ -97,8 +117,8 @@ def parse_spec(spec, thresholds=None, name=None):
         else:
             raise ValueError(
                 f"unknown pipeline token {token!r}; grammar: "
-                f"exact|freq|short|ret|loop|cost[:edge|:long]"
-                f"|minmisp:FLOAT, comma-separated"
+                f"meld[:short|:all]|exact|freq|short|ret|loop"
+                f"|cost[:edge|:long]|minmisp:FLOAT, comma-separated"
             )
     return SelectionConfig(
         enable_exact=flags["exact"],
@@ -109,13 +129,17 @@ def parse_spec(spec, thresholds=None, name=None):
         cost_model=cost_model,
         thresholds=thresholds or SelectionThresholds(),
         min_misp_rate=min_misp_rate,
+        meld=meld,
         name=name or spec,
     )
 
 
 def format_spec(config):
     """The canonical spec string for a ``SelectionConfig``."""
-    tokens = [
+    tokens = []
+    if config.meld is not None:
+        tokens.append(f"meld:{config.meld}")
+    tokens += [
         token
         for token, enabled in (
             ("exact", config.enable_exact),
@@ -159,6 +183,7 @@ def context_for_config(program, profile, config, two_d_profile=None,
         two_d_profile=two_d_profile,
         tracer=tracer if tracer is not None else get_tracer(),
         ledger=ledger,
+        manager=manager,
     )
 
 
@@ -230,6 +255,10 @@ class PipelineBuilder:
     def build(self):
         config = self.config
         passes = []
+        if config.meld is not None:
+            from repro.compiler.transform import MeldPass
+
+            passes.append(MeldPass(config.meld))
         if config.enable_exact:
             passes.append(ExactCandidatesPass())
         if config.enable_freq:

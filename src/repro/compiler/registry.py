@@ -78,6 +78,28 @@ register(
     ),
 )
 
+# Static if-conversion (§6 software-predication comparison).  "meld"
+# alone runs no selection pass: the annotation is empty and the melded
+# program runs without dynamic predication — the pure static baseline.
+# "meld+all-best-heur" layers All-best-heur selection on the melded
+# program (the combined strategy).  These rewrite the program, so they
+# are excluded from the legacy-oracle equivalence matrix and must be
+# simulated via the meld-aware drivers.
+_preset("meld", meld="short", enable_exact=False, enable_freq=False)
+register(
+    "meld+all-best-heur",
+    lambda thresholds=None: SelectionConfig(
+        enable_exact=True,
+        enable_freq=True,
+        enable_short=True,
+        enable_return_cfm=True,
+        enable_loop=True,
+        meld="short",
+        name="meld+all-best-heur",
+        **({"thresholds": thresholds} if thresholds is not None else {}),
+    ),
+)
+
 # Campaign alias: the fig7 sweeps select with exact+freq only.
 register(
     "exact-freq",

@@ -1,0 +1,490 @@
+"""Transform passes: compile-time rewriting of the Program.
+
+The annotation-only pipeline (``docs/compiler.md``) never touches the
+program it compiles; a :class:`TransformPass` does.  It produces a
+:class:`TransformResult` — a rewritten :class:`~repro.isa.Program`
+plus the pc remapping that relates it to the original — and the base
+class applies it to the :class:`~repro.compiler.passes.CompileContext`:
+the context's program is swapped, its :class:`ProfileData` is remapped
+(:meth:`~repro.profiling.profiler.ProfileData.remapped`), and the
+analysis is re-fetched through the :class:`AnalysisManager` — the
+manager's content key covers the program fingerprint, so mutation *is*
+invalidation and the original pair's entry stays valid for anyone
+still compiling the untransformed program.
+
+The first transform is static if-conversion (*melding*, after DARM):
+:class:`MeldPass` finds short divergent hammocks, predicates both
+sides with ``CMOV`` selects, and removes the branch — the paper's §6
+software-predication comparison point, and the surgical way to stress
+selection on programs whose easy hammocks are already gone.
+
+The rewrite keeps the melded program *architecturally identical* to
+the original: every side writes scratch registers (registers the
+program never references) and a ``CMOV`` epilogue commits exactly the
+side the branch would have executed; a ``MOVI 0`` cleanup restores the
+scratch registers so the final register file matches bit-for-bit.
+Sides may only contain ALU/``MOV``/``MOVI``/``LD``/``NOP`` — every one
+of those is safe to run down the not-taken side (division by zero is
+defined as 0, loads of unmapped words return 0, nothing stores or
+redirects control).
+"""
+
+from dataclasses import dataclass
+
+from repro.compiler.passes import Pass
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    COND_BRANCH_OPCODES,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Function, Program
+from repro.isa.registers import NUM_REGISTERS, ZERO_REGISTER
+
+#: Opcodes a melded side may contain: unconditionally re-executable,
+#: no stores, no control flow (see module docstring).
+MELDABLE_OPCODES = frozenset(ALU_OPCODES) | {
+    Opcode.MOV, Opcode.MOVI, Opcode.CMOV, Opcode.LD, Opcode.NOP,
+}
+
+#: Structural per-side size cap for ``meld:all`` mode; ``meld:short``
+#: uses the short-hammock threshold instead.
+MELD_MAX_SIDE_INSTS = 16
+
+#: Spec-grammar modes the ``meld`` token accepts.
+MELD_MODES = ("short", "all")
+
+
+@dataclass(frozen=True)
+class MeldCandidate:
+    """A structurally meldable hammock at ``branch_pc``.
+
+    ``then_range``/``else_range`` are half-open pc ranges of the
+    fall-through and taken sides; ``join_pc`` is the reconvergence
+    point (the first instruction that survives the rewrite).
+    """
+
+    branch_pc: int
+    kind: str                 # "one-sided" | "diamond"
+    then_range: tuple
+    else_range: tuple         # empty range for one-sided hammocks
+    join_pc: int
+
+
+@dataclass
+class MeldedBranch:
+    """Ledger record of one melded hammock."""
+
+    branch_pc: int            # original pc of the removed branch
+    new_pc: int               # start of the predicated sequence
+    kind: str
+    join_pc: int              # original reconvergence pc
+    then_insts: int
+    else_insts: int
+    cmovs: int
+    temps: int
+
+
+@dataclass
+class TransformResult:
+    """A rewritten program and how its pcs relate to the original.
+
+    ``pc_map`` maps every *surviving* original pc to its new pc — the
+    replaced hammock regions are absent, which is exactly the dropping
+    contract :meth:`ProfileData.remapped` and the explain join expect.
+    ``melded`` maps original branch pc → :class:`MeldedBranch`.
+    """
+
+    program: Program
+    pc_map: dict
+    melded: dict
+
+    @property
+    def changed(self):
+        return bool(self.melded)
+
+    def inverse_pc_map(self):
+        """new pc → original pc for surviving instructions (bijective)."""
+        return {new: old for old, new in self.pc_map.items()}
+
+
+def find_meld_candidates(program, max_side_insts):
+    """Structurally meldable hammocks, in branch-pc order.
+
+    Two shapes (the DARM divergent-region patterns that fit a
+    straight-line ISA):
+
+    - one-sided: ``beqz/bnez c, @T`` with a branch-free fall-through
+      block ``[pc+1, T)`` — join at ``T``;
+    - diamond: ``beqz/bnez c, @T``, fall-through block ``[pc+1, T-1)``
+      ending in ``jmp @M`` with taken block ``[T, M)`` — join at ``M``.
+
+    A side qualifies only if every instruction is in
+    :data:`MELDABLE_OPCODES`, it is no longer than ``max_side_insts``,
+    and no control flow from outside the region enters it (the branch's
+    own edge into the taken side is the one permitted entry).
+    """
+    instructions = program.instructions
+    n = len(instructions)
+    targeters = {}
+    for pc, inst in enumerate(instructions):
+        if inst.target is not None:
+            targeters.setdefault(inst.target, []).append(pc)
+
+    def side_ok(start, stop):
+        if stop - start > max_side_insts:
+            return False
+        return all(
+            instructions[q].op in MELDABLE_OPCODES
+            for q in range(start, stop)
+        )
+
+    def interior_clear(branch_pc, start, stop, allowed=None):
+        for q in range(start, stop):
+            sources = targeters.get(q)
+            if not sources:
+                continue
+            if q == allowed and sources == [branch_pc]:
+                continue
+            return False
+        return True
+
+    candidates = []
+    for pc in program.conditional_branch_pcs():
+        inst = instructions[pc]
+        target = inst.target
+        if target <= pc + 1:      # backward or degenerate: not a hammock
+            continue
+        # Diamond: fall-through side ends in a forward jmp over the
+        # taken side.
+        tail = instructions[target - 1]
+        if (tail.op is Opcode.JMP and tail.target >= target
+                and target - 1 > pc):
+            join = tail.target
+            then_range = (pc + 1, target - 1)
+            else_range = (target, join)
+            if (side_ok(*then_range) and side_ok(*else_range)
+                    and (then_range[1] - then_range[0])
+                    + (else_range[1] - else_range[0]) > 0
+                    and interior_clear(pc, pc + 1, join,
+                                       allowed=target)):
+                candidates.append(MeldCandidate(
+                    branch_pc=pc, kind="diamond",
+                    then_range=then_range, else_range=else_range,
+                    join_pc=join,
+                ))
+            continue
+        # One-sided: branch-free fall-through side, join at the target.
+        then_range = (pc + 1, target)
+        if (target <= n and side_ok(*then_range)
+            and target - (pc + 1) > 0
+                and interior_clear(pc, pc + 1, target)):
+            candidates.append(MeldCandidate(
+                branch_pc=pc, kind="one-sided",
+                then_range=then_range, else_range=(target, target),
+                join_pc=target,
+            ))
+    return candidates
+
+
+def select_meld_candidates(program, profile, thresholds, mode="short"):
+    """Filter structural candidates down to the profitable ones.
+
+    ``meld:short`` melds only profitable short hammocks: sides bounded
+    by the §3.4 short-hammock size, branch executed during profiling,
+    and misprediction rate at or above the short-hammock floor (a
+    never-mispredicting hammock costs fetch bandwidth for nothing).
+    ``meld:all`` melds every structural candidate up to
+    :data:`MELD_MAX_SIDE_INSTS` per side, profile or not.
+    """
+    if mode not in MELD_MODES:
+        raise ValueError(
+            f"unknown meld mode {mode!r}; expected one of "
+            f"{', '.join(MELD_MODES)}"
+        )
+    if mode == "all":
+        return find_meld_candidates(program, MELD_MAX_SIDE_INSTS)
+    candidates = find_meld_candidates(
+        program, thresholds.short_hammock_max_insts
+    )
+    branch_profile = profile.branch_profile
+    kept = []
+    for candidate in candidates:
+        pc = candidate.branch_pc
+        if profile.edge_profile.exec_count(pc) == 0:
+            continue
+        if branch_profile.misprediction_rate(pc) \
+                < thresholds.short_hammock_min_misp_rate:
+            continue
+        kept.append(candidate)
+    return kept
+
+
+def _free_registers(program):
+    """Registers the program never references (the scratch pool)."""
+    used = {ZERO_REGISTER}
+    for inst in program.instructions:
+        for reg in (inst.dest, inst.src1, inst.src2):
+            if reg is not None:
+                used.add(reg)
+    return [reg for reg in range(1, NUM_REGISTERS) if reg not in used]
+
+
+def _written_registers(instructions, block):
+    """Registers a side writes, in first-write order (r0 excluded)."""
+    written = []
+    for pc in block:
+        reg = instructions[pc].written_register()
+        if reg is not None and reg != ZERO_REGISTER \
+                and reg not in written:
+            written.append(reg)
+    return written
+
+
+def _rename(inst, mapping):
+    """One side instruction with its registers renamed into scratch."""
+    if not mapping:
+        return inst
+
+    def to(reg):
+        return mapping.get(reg, reg) if reg is not None else None
+
+    return Instruction(
+        op=inst.op, dest=to(inst.dest), src1=to(inst.src1),
+        src2=to(inst.src2), imm=inst.imm, target=inst.target,
+        label=inst.label,
+    )
+
+
+def _meld_sequence(instructions, candidate, pool):
+    """The predicated replacement for one candidate, or ``None``.
+
+    Layout: predicate computation, scratch seeding (``MOV t, w`` for
+    every register a side writes), both side bodies renamed into their
+    scratch registers, a ``CMOV`` epilogue committing the executed
+    side, and a ``MOVI 0`` cleanup that restores every scratch
+    register — the program never references them, so zero is their
+    value in any unmelded run.  Returns ``None`` when the pool cannot
+    cover the sequence's scratch needs.
+    """
+    branch = instructions[candidate.branch_pc]
+    cond = branch.src1
+    then_block = list(range(*candidate.then_range))
+    else_block = list(range(*candidate.else_range))
+    # The fall-through side executes when the branch is *not* taken:
+    # BEQZ falls through on cond != 0, BNEZ on cond == 0.
+    then_op = (Opcode.CMPNE if branch.op is Opcode.BEQZ
+               else Opcode.CMPEQ)
+    else_op = (Opcode.CMPEQ if branch.op is Opcode.BEQZ
+               else Opcode.CMPNE)
+    written_then = _written_registers(instructions, then_block)
+    written_else = _written_registers(instructions, else_block)
+    need = 1 + (1 if else_block else 0) \
+        + len(written_then) + len(written_else)
+    if need > len(pool):
+        return None
+    scratch = iter(pool)
+    pred_then = next(scratch)
+    pred_else = next(scratch) if else_block else None
+    temp_then = {reg: next(scratch) for reg in written_then}
+    temp_else = {reg: next(scratch) for reg in written_else}
+
+    seq = [Instruction(op=then_op, dest=pred_then, src1=cond, imm=0)]
+    if pred_else is not None:
+        seq.append(
+            Instruction(op=else_op, dest=pred_else, src1=cond, imm=0)
+        )
+    for reg in written_then:
+        seq.append(Instruction(op=Opcode.MOV, dest=temp_then[reg],
+                               src1=reg))
+    for reg in written_else:
+        seq.append(Instruction(op=Opcode.MOV, dest=temp_else[reg],
+                               src1=reg))
+    for pc in then_block:
+        seq.append(_rename(instructions[pc], temp_then))
+    for pc in else_block:
+        seq.append(_rename(instructions[pc], temp_else))
+    cmovs = 0
+    for reg in written_then:
+        seq.append(Instruction(op=Opcode.CMOV, dest=reg,
+                               src1=pred_then, src2=temp_then[reg]))
+        cmovs += 1
+    for reg in written_else:
+        seq.append(Instruction(op=Opcode.CMOV, dest=reg,
+                               src1=pred_else, src2=temp_else[reg]))
+        cmovs += 1
+    temps = ([pred_then]
+             + ([pred_else] if pred_else is not None else [])
+             + [temp_then[reg] for reg in written_then]
+             + [temp_else[reg] for reg in written_else])
+    for reg in temps:
+        seq.append(Instruction(op=Opcode.MOVI, dest=reg, imm=0))
+    return seq, len(then_block), len(else_block), cmovs, len(temps)
+
+
+def apply_meld(program, candidates):
+    """Rewrite ``program`` with every applicable candidate melded.
+
+    Candidate regions are disjoint by construction (sides are
+    branch-free and externally unentered), so the rewrite is a single
+    linear walk: copy surviving instructions, splice predicated
+    sequences, then retarget surviving control flow through the pc map
+    (the removed branch pcs themselves forward to their sequence
+    starts, so back-edges into a melded hammock head stay correct).
+    Function boundaries are recomputed during the walk.
+    """
+    instructions = program.instructions
+    pool = _free_registers(program)
+    planned = {}
+    for candidate in sorted(candidates, key=lambda c: c.branch_pc):
+        built = _meld_sequence(instructions, candidate, pool)
+        if built is None:         # not enough scratch registers
+            continue
+        planned[candidate.branch_pc] = (candidate, built)
+    identity = {pc: pc for pc in range(len(instructions))}
+    if not planned:
+        return TransformResult(
+            program=program, pc_map=identity, melded={}
+        )
+
+    starts = {func.start: func for func in program.functions}
+    new_instructions = []
+    copied_rows = []              # (new index, original pc)
+    pc_map = {}
+    new_starts = {}
+    melded = {}
+    entry_map = {}                # removed branch pc -> sequence start
+    old_pc = 0
+    n = len(instructions)
+    while old_pc < n:
+        if old_pc in starts:
+            new_starts[old_pc] = len(new_instructions)
+        plan = planned.get(old_pc)
+        if plan is None:
+            pc_map[old_pc] = len(new_instructions)
+            copied_rows.append((len(new_instructions), old_pc))
+            new_instructions.append(instructions[old_pc])
+            old_pc += 1
+            continue
+        candidate, (seq, then_insts, else_insts, cmovs, temps) = plan
+        new_pc = len(new_instructions)
+        new_instructions.extend(seq)
+        entry_map[old_pc] = new_pc
+        melded[old_pc] = MeldedBranch(
+            branch_pc=old_pc, new_pc=new_pc, kind=candidate.kind,
+            join_pc=candidate.join_pc, then_insts=then_insts,
+            else_insts=else_insts, cmovs=cmovs, temps=temps,
+        )
+        old_pc = candidate.join_pc
+
+    retarget = dict(pc_map)
+    retarget.update(entry_map)
+    for index, original_pc in copied_rows:
+        inst = instructions[original_pc]
+        if inst.target is None:
+            continue
+        new_target = retarget[inst.target]
+        if new_target != inst.target:
+            new_instructions[index] = inst.retarget(new_target)
+
+    functions = []
+    ordered = sorted(program.functions, key=lambda func: func.start)
+    for position, func in enumerate(ordered):
+        start = new_starts[func.start]
+        end = (new_starts[ordered[position + 1].start]
+               if position + 1 < len(ordered)
+               else len(new_instructions))
+        functions.append(Function(func.name, start, end))
+    rewritten = Program(
+        new_instructions, functions, name=program.name
+    )
+    return TransformResult(
+        program=rewritten, pc_map=pc_map, melded=melded
+    )
+
+
+def apply_transform(ctx, result):
+    """Swap the context onto the transformed program.
+
+    The profile is remapped so downstream passes see correct counts at
+    the new pcs, and the analysis is re-fetched through the manager —
+    the (fingerprint, profile-key) content key makes the swap its own
+    invalidation, without touching the original pair's cached entry.
+    """
+    ctx.program = result.program
+    ctx.profile = ctx.profile.remapped(result.pc_map)
+    if ctx.manager is not None:
+        ctx.analysis = ctx.manager.analysis(ctx.program, ctx.profile)
+    else:
+        from repro.core.analysis import ProgramAnalysis
+
+        ctx.analysis = ProgramAnalysis(ctx.program, ctx.profile)
+
+
+class TransformPass(Pass):
+    """A pass that rewrites the Program itself.
+
+    Subclasses implement :meth:`rewrite` returning a
+    :class:`TransformResult` (or ``None``); the base ``run`` applies a
+    changed result to the context via :func:`apply_transform` and
+    records it on ``state.transform`` so callers can recover the
+    rewritten program and its pc map.  :meth:`attribute` is the ledger
+    hook, called between rewrite and apply — decisions it emits are
+    therefore in *original* pc space.
+
+    One transform per pipeline for now; composing several would chain
+    their pc maps.
+    """
+
+    name = "transform"
+
+    def rewrite(self, ctx):
+        raise NotImplementedError
+
+    def attribute(self, ctx, result):
+        """Emit ledger/trace decisions for the rewrite (optional)."""
+
+    def run(self, ctx, state):
+        result = self.rewrite(ctx)
+        if result is None or not result.changed:
+            return
+        self.attribute(ctx, result)
+        apply_transform(ctx, result)
+        state.transform = result
+
+
+class MeldPass(TransformPass):
+    """Static if-conversion of profitable short hammocks.
+
+    Runs first in the canonical schedule: melded hammocks leave the
+    program (and the remapped profile), so every later selection pass
+    sees a candidate set with those hammocks already claimed by the
+    static strategy — the §6 comparison the meld experiment driver
+    measures.
+    """
+
+    name = "meld"
+
+    def __init__(self, mode="short"):
+        if mode not in MELD_MODES:
+            raise ValueError(
+                f"unknown meld mode {mode!r}; expected one of "
+                f"{', '.join(MELD_MODES)}"
+            )
+        self.mode = mode
+
+    def rewrite(self, ctx):
+        candidates = select_meld_candidates(
+            ctx.program, ctx.profile, ctx.thresholds, self.mode
+        )
+        if not candidates:
+            return None
+        return apply_meld(ctx.program, candidates)
+
+    def attribute(self, ctx, result):
+        for branch_pc in sorted(result.melded):
+            record = result.melded[branch_pc]
+            ctx.emit_rejected(
+                branch_pc, "melded",
+                rule=f"meld:{self.mode}:{record.kind}",
+            )

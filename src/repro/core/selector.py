@@ -57,6 +57,15 @@ class SelectionConfig:
     #: static mark list and alias in the confidence estimator; the
     #: paper proposes 2D-profiling to filter them.  0.0 disables.
     min_misp_rate: float = 0.0
+    #: Static if-conversion (§6 software-predication baseline): ``None``
+    #: disables, ``"short"`` melds profitable short hammocks before
+    #: selection, ``"all"`` melds every structural candidate.  A
+    #: non-``None`` value schedules the program-rewriting
+    #: :class:`~repro.compiler.transform.MeldPass` first, so the
+    #: annotation's pcs refer to the *transformed* program — callers
+    #: must simulate against it (see ``repro.experiments.meldcompare``),
+    #: not the original trace.
+    meld: Optional[str] = None
     name: str = "custom"
 
     @classmethod

@@ -149,6 +149,9 @@ class Emulator:
                 state.write_reg(inst.dest, state.regs[inst.src1])
             elif op is Opcode.MOVI:
                 state.write_reg(inst.dest, inst.imm)
+            elif op is Opcode.CMOV:
+                if state.regs[inst.src1] != 0:
+                    state.write_reg(inst.dest, state.regs[inst.src2])
             elif op is Opcode.NOP:
                 pass
             else:

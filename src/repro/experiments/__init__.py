@@ -17,6 +17,8 @@ Index (see DESIGN.md §4 and EXPERIMENTS.md):
 - :mod:`repro.experiments.fig9` — input-set sensitivity (performance).
 - :mod:`repro.experiments.fig10` — input-set sensitivity (selection
   overlap).
+- :mod:`repro.experiments.meldcompare` — §6 static if-conversion
+  (melding) vs dynamic predication vs the combined strategy.
 """
 
 from repro.experiments.runner import (

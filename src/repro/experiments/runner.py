@@ -108,9 +108,11 @@ _baseline_cache = KeyedCache("baseline", max_entries=128)
 def clear_cache():
     """Drop all cached traces/profiles/baselines/analyses (frees memory)."""
     from repro.compiler.analysis_manager import reset_shared_manager
+    from repro.experiments import meldcompare
 
     _artifact_cache.clear()
     _baseline_cache.clear()
+    meldcompare.clear_meld_caches()
     reset_shared_manager()
 
 
@@ -226,6 +228,13 @@ def run_selection(name, selection_config, input_set="reduced",
     and runtime outcomes for ``explain``.  Returns
     ``(stats, annotation)``.
     """
+    if getattr(selection_config, "meld", None) is not None:
+        raise ValueError(
+            f"config {selection_config.name!r} rewrites the program "
+            f"(meld={selection_config.meld!r}); its annotation does "
+            f"not apply to the original trace — use "
+            f"repro.experiments.meldcompare instead"
+        )
     profile_set = profile_input_set or input_set
     run_artifacts = get_artifacts(name, input_set, scale)
     profile_artifacts = get_artifacts(name, profile_set, scale)

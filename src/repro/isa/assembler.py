@@ -134,6 +134,13 @@ def _assemble_instruction(builder, line, line_no):
             _parse_register(operands[0], line_no),
             _parse_register(operands[1], line_no),
         )
+    elif mnemonic == "cmov":
+        _expect(operands, 3, mnemonic, line_no)
+        builder.cmov(
+            _parse_register(operands[0], line_no),
+            _parse_register(operands[1], line_no),
+            _parse_register(operands[2], line_no),
+        )
     elif mnemonic == "movi":
         _expect(operands, 2, mnemonic, line_no)
         builder.movi(

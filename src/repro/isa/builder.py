@@ -153,6 +153,12 @@ class ProgramBuilder:
     def movi(self, dest, imm):
         return self._emit(Instruction(op=Opcode.MOVI, dest=dest, imm=imm))
 
+    def cmov(self, dest, cond, src):
+        """Conditional select: ``dest = src`` when ``cond`` is non-zero."""
+        return self._emit(
+            Instruction(op=Opcode.CMOV, dest=dest, src1=cond, src2=src)
+        )
+
     def ld(self, dest, base, offset=0):
         return self._emit(
             Instruction(op=Opcode.LD, dest=dest, src1=base, imm=offset)

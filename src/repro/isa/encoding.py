@@ -45,7 +45,7 @@ _OPCODE_TABLE = (
     Opcode.CMPLE, Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPGT,
     Opcode.CMPGE, Opcode.MOV, Opcode.MOVI, Opcode.LD, Opcode.ST,
     Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL, Opcode.RET,
-    Opcode.NOP, Opcode.HALT,
+    Opcode.NOP, Opcode.HALT, Opcode.CMOV,
 )
 _OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODE_TABLE)}
 

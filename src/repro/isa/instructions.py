@@ -14,6 +14,12 @@ Opcodes are grouped by behaviour:
 
 Comparison ALU ops (``CMPLT`` etc.) produce 0/1, so a branch condition is
 typically computed by a compare followed by ``BNEZ``.
+
+``CMOV`` is the conditional select the static if-conversion (meld)
+transform predicates with: ``cmov rd, rc, rs`` writes ``rs`` into ``rd``
+when ``rc`` is non-zero and leaves ``rd`` unchanged otherwise.  It
+therefore *reads* its destination — the old value is a true data
+dependency — which matters to the timing model's dataflow scheduling.
 """
 
 import enum
@@ -45,6 +51,7 @@ class Opcode(enum.Enum):
     # Data movement.
     MOV = "mov"
     MOVI = "movi"
+    CMOV = "cmov"
     # Memory.
     LD = "ld"
     ST = "st"
@@ -151,6 +158,10 @@ class Instruction:
         elif op is Opcode.MOV:
             check_register(self.dest, "dest")
             check_register(self.src1, "src1")
+        elif op is Opcode.CMOV:
+            check_register(self.dest, "dest")
+            check_register(self.src1, "condition")
+            check_register(self.src2, "src2")
         elif op is Opcode.MOVI:
             check_register(self.dest, "dest")
             if self.imm is None:
@@ -221,6 +232,7 @@ class Instruction:
         if self.op in ALU_OPCODES or self.op in (
             Opcode.MOV,
             Opcode.MOVI,
+            Opcode.CMOV,
             Opcode.LD,
         ):
             return self.dest
@@ -235,6 +247,10 @@ class Instruction:
             return (self.src1,)
         if op is Opcode.MOV:
             return (self.src1,)
+        if op is Opcode.CMOV:
+            # The old destination value is a true dependency: a
+            # not-taken select preserves it.
+            return (self.src1, self.src2, self.dest)
         if op is Opcode.LD:
             return (self.src1,)
         if op is Opcode.ST:
@@ -260,6 +276,8 @@ class Instruction:
             return f"{op.value} r{self.dest}, r{self.src1}, {second}"
         if op is Opcode.MOV:
             return f"mov r{self.dest}, r{self.src1}"
+        if op is Opcode.CMOV:
+            return f"cmov r{self.dest}, r{self.src1}, r{self.src2}"
         if op is Opcode.MOVI:
             return f"movi r{self.dest}, {self.imm}"
         if op is Opcode.LD:

@@ -88,9 +88,15 @@ def join_ledgers(selection, runtime, cost_params):
         counters = runtime.branch(pc)
         observed = observed_outcome(counters, cost_params)
         if decision is not None:
+            # A transform pass records the branches it removed with
+            # reason "melded"; report them under their own verdict so
+            # the join never claims a rewritten-away pc is missing.
+            verdict = decision.verdict
+            if verdict == "rejected" and decision.reason == "melded":
+                verdict = "melded"
             entry = {
                 "branch_pc": pc,
-                "verdict": decision.verdict,
+                "verdict": verdict,
                 "pass": decision.pass_name,
                 "reason": decision.reason,
                 "rule": decision.rule,
@@ -138,6 +144,7 @@ def join_ledgers(selection, runtime, cost_params):
     summary = {
         "selected": counts["selected"],
         "rejected": counts["rejected"],
+        "melded": sum(1 for e in entries if e["verdict"] == "melded"),
         "decisions": counts["decisions"],
         "episodes": totals["episodes"],
         "episodes_merged": totals["merged"],
@@ -155,9 +162,21 @@ def join_ledgers(selection, runtime, cost_params):
 
 def build_explain(workload, selection_config, input_set="reduced",
                   scale=1.0, processor_config=None):
-    """Run profile → select → simulate with ledgers and join them."""
+    """Run profile → select → simulate with ledgers and join them.
+
+    Program-rewriting configs (``meld=...``) take the meld-aware path:
+    the simulator runs the *melded* trace, and both ledgers are
+    translated back into original pc space so the report lines up with
+    the original disassembly — branches the transform removed appear
+    with verdict ``"melded"`` instead of going missing.
+    """
     from repro.experiments.runner import run_selection
 
+    if getattr(selection_config, "meld", None) is not None:
+        return _build_explain_melded(
+            workload, selection_config, input_set, scale,
+            processor_config,
+        )
     selection = SelectionLedger()
     runtime = RuntimeLedger()
     stats, annotation = run_selection(
@@ -165,6 +184,47 @@ def build_explain(workload, selection_config, input_set="reduced",
         input_set=input_set, scale=scale, config=processor_config,
         selection_ledger=selection, runtime_ledger=runtime,
     )
+    return _assemble_explain(
+        workload, selection_config, input_set, scale,
+        stats, selection, runtime, len(annotation),
+    )
+
+
+def _build_explain_melded(workload, selection_config, input_set, scale,
+                          processor_config):
+    """The meld-aware explain path (see :func:`build_explain`)."""
+    from repro.experiments.meldcompare import melded_run
+    from repro.uarch import make_simulator
+
+    selection = SelectionLedger()
+    runtime = RuntimeLedger()
+    state, program, trace = melded_run(
+        workload, selection_config, input_set=input_set, scale=scale,
+        ledger=selection,
+    )
+    stats = make_simulator(
+        program, config=processor_config, annotation=state.annotation,
+        ledger=runtime,
+    ).run(trace, label=f"{workload}/{selection_config.name}")
+    melded_pcs = []
+    if state.transform is not None:
+        # Post-meld decisions and runtime counters carry melded-program
+        # pcs; the removal records (reason "melded") are already in
+        # original pc space and must not be translated.
+        inverse = state.transform.inverse_pc_map()
+        selection = selection.remapped(inverse, keep_reasons=("melded",))
+        runtime = runtime.remapped(inverse)
+        melded_pcs = sorted(state.transform.melded)
+    data = _assemble_explain(
+        workload, selection_config, input_set, scale,
+        stats, selection, runtime, len(state.annotation),
+    )
+    data["melded_branches"] = melded_pcs
+    return data
+
+
+def _assemble_explain(workload, selection_config, input_set, scale,
+                      stats, selection, runtime, annotated_branches):
     branches, summary = join_ledgers(
         selection, runtime, selection_config.cost_params
     )
@@ -190,7 +250,7 @@ def build_explain(workload, selection_config, input_set="reduced",
         "reconciliation": runtime.reconcile(),
         "branches": branches,
         "summary": summary,
-        "annotated_branches": len(annotation),
+        "annotated_branches": annotated_branches,
         "history": {
             str(pc): [d.as_dict() for d in selection.history(pc)]
             for pc in sorted(
@@ -246,8 +306,10 @@ def format_explain(data, branch=None, top=10):
         f"({run['dpred_episodes_merged']} merged, "
         f"{run['dpred_flushes_avoided']} flushes avoided)",
         f"  selection: {summary['selected']} selected, "
-        f"{summary['rejected']} rejected "
-        f"({summary['decisions']} decisions)",
+        f"{summary['rejected']} rejected"
+        + (f", {summary['melded']} melded (statically if-converted)"
+           if summary.get("melded") else "")
+        + f" ({summary['decisions']} decisions)",
         "  ledger reconciliation vs run totals: "
         + ("EXACT" if summary["consistent"] else "MISMATCH"),
     ]

@@ -191,6 +191,30 @@ class SelectionLedger:
         """Every decision recorded for ``pc``, in pipeline order."""
         return [d for d in self.decisions if d.branch_pc == pc]
 
+    def remapped(self, pc_map, keep_reasons=()):
+        """A new ledger with decision pcs translated through ``pc_map``.
+
+        Decisions whose ``reason`` is in ``keep_reasons`` keep their
+        pc verbatim — a transform pass records its removals in
+        *original* pc space while later passes decide in the rewritten
+        program's, so only the latter need translating back.  Pcs
+        absent from the map pass through unchanged.
+        """
+        from dataclasses import replace
+
+        ledger = SelectionLedger()
+        for decision in self.decisions:
+            if decision.reason in keep_reasons:
+                ledger.decisions.append(decision)
+            else:
+                ledger.decisions.append(replace(
+                    decision,
+                    branch_pc=pc_map.get(
+                        decision.branch_pc, decision.branch_pc
+                    ),
+                ))
+        return ledger
+
     def selected_pcs(self):
         return sorted(
             pc for pc, d in self.final().items() if d.verdict == "selected"
@@ -264,6 +288,21 @@ class RuntimeLedger:
             "dpred_wrong_path_insts": stats.dpred_wrong_path_insts,
             "dpred_select_uops": stats.dpred_select_uops,
         })
+
+    def remapped(self, pc_map):
+        """A new ledger with branch pcs translated through ``pc_map``.
+
+        Counters of pcs mapping to the same translated pc sum; the
+        per-run totals carry over unchanged (:meth:`reconcile` is
+        pc-agnostic, so consistency is preserved).
+        """
+        ledger = RuntimeLedger()
+        for pc, counters in self._branches.items():
+            mine = ledger._counters(pc_map.get(pc, pc))
+            for index, value in enumerate(counters):
+                mine[index] += value
+        ledger.runs = [dict(run) for run in self.runs]
+        return ledger
 
     def branch(self, pc):
         """The named counter dict for one pc (zeros when unseen)."""

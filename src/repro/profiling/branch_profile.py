@@ -45,6 +45,19 @@ class BranchProfile:
             for pc in sorted(self._executed)
         )
 
+    def remapped(self, pc_map):
+        """Counts re-keyed through ``pc_map``; unmapped pcs are dropped."""
+        other = BranchProfile()
+        other._executed = {
+            pc_map[pc]: count
+            for pc, count in self._executed.items() if pc in pc_map
+        }
+        other._mispredicted = {
+            pc_map[pc]: count
+            for pc, count in self._mispredicted.items() if pc in pc_map
+        }
+        return other
+
     def branches_above_rate(self, rate):
         """Branch pcs whose misprediction rate exceeds ``rate``."""
         return sorted(

@@ -53,3 +53,21 @@ class EdgeProfile:
             (pc, self._taken.get(pc, 0), self._not_taken.get(pc, 0))
             for pc in self.executed_branch_pcs()
         )
+
+    def remapped(self, pc_map):
+        """Counts re-keyed through ``pc_map``; unmapped pcs are dropped.
+
+        Used when a transform pass rewrites the program: surviving
+        branches keep their observations at their new pcs, branches the
+        transform removed disappear from the profile.
+        """
+        other = EdgeProfile()
+        other._taken = {
+            pc_map[pc]: count
+            for pc, count in self._taken.items() if pc in pc_map
+        }
+        other._not_taken = {
+            pc_map[pc]: count
+            for pc, count in self._not_taken.items() if pc in pc_map
+        }
+        return other

@@ -61,6 +61,24 @@ class LoopProfile:
             for pc, state in sorted(self._states.items())
         )
 
+    def remapped(self, pc_map):
+        """Run statistics re-keyed through ``pc_map``; unmapped pcs drop.
+
+        Only sealed profiles are remapped (transforms run after
+        :meth:`finish`), so open runs need no carrying over.
+        """
+        other = LoopProfile()
+        for pc, state in self._states.items():
+            if pc not in pc_map:
+                continue
+            copied = _RunState()
+            copied.direction = state.direction
+            copied.length = state.length
+            copied.sums = dict(state.sums)
+            copied.counts = dict(state.counts)
+            other._states[pc_map[pc]] = copied
+        return other
+
     def average_run_length(self, pc, direction):
         """Mean length of completed ``direction`` runs at ``pc`` (0.0 if none)."""
         state = self._states.get(pc)

@@ -73,6 +73,40 @@ class ProfileData:
             self._cache_key = key
         return key
 
+    def remapped(self, pc_map):
+        """This profile translated across a program transform.
+
+        ``pc_map`` maps every *surviving* old pc to its new pc;
+        branches the transform removed (e.g. melded hammocks) are
+        absent and their observations leave the per-pc profiles *and*
+        the branch/misprediction run totals — downstream selection sees
+        the profile the transformed program would have produced.
+        ``total_instructions`` is kept: it is the profiling run's
+        dynamic length, used only for execution-frequency ratios.
+
+        Returns a fresh :class:`ProfileData` (so ``cache_key`` re-keys
+        naturally); the original is untouched.
+        """
+        dropped_branches = 0
+        dropped_mispredictions = 0
+        for pc in self.edge_profile.executed_branch_pcs():
+            if pc not in pc_map:
+                dropped_branches += self.branch_profile.exec_count(pc)
+                dropped_mispredictions += \
+                    self.branch_profile.misprediction_count(pc)
+        return ProfileData(
+            edge_profile=self.edge_profile.remapped(pc_map),
+            branch_profile=self.branch_profile.remapped(pc_map),
+            loop_profile=self.loop_profile.remapped(pc_map),
+            total_instructions=self.total_instructions,
+            total_branches=self.total_branches - dropped_branches,
+            total_mispredictions=(
+                self.total_mispredictions - dropped_mispredictions
+            ),
+            measured_acc_conf=self.measured_acc_conf,
+            halted=self.halted,
+        )
+
 
 class ProfileCollector:
     """Branch-observation half of one profiling pass.

@@ -181,6 +181,7 @@ class VectorizedTimingSimulator(TimingSimulator):
             lat = np.empty(n, dtype=np.int64)
             src1 = np.full(n, _NULL_REG, dtype=np.int64)
             src2 = np.full(n, _NULL_REG, dtype=np.int64)
+            src3 = np.full(n, _NULL_REG, dtype=np.int64)
             dest = np.full(n, _SCRATCH_REG, dtype=np.int64)
             targets = [-1] * n
             for pc, inst in enumerate(instructions):
@@ -202,20 +203,22 @@ class VectorizedTimingSimulator(TimingSimulator):
                     src1[pc] = reads[0]
                     if len(reads) > 1:
                         src2[pc] = reads[1]
+                        if len(reads) > 2:    # CMOV reads its old dest
+                            src3[pc] = reads[2]
                 written = inst.written_register()
                 if written:   # None and r0 both mean "no dataflow dest"
                     dest[pc] = written
                 if inst.target is not None:
                     targets[pc] = inst.target
             cached = (kind, np.where(kind >= _LOAD, _PLAIN, kind),
-                      lat, src1, src2, dest, targets)
+                      lat, src1, src2, src3, dest, targets)
             try:
                 _DECODE_CACHE[program] = cached
             except TypeError:
                 pass
         (self._kind_table, self._replay_kind_table, self._lat_table,
-         self._src1_table, self._src2_table, self._dest_table,
-         self._target_by_pc) = cached
+         self._src1_table, self._src2_table, self._src3_table,
+         self._dest_table, self._target_by_pc) = cached
         # Diverge marks by pc (same truthiness rule as the scalar row
         # loop: an empty annotation never yields a diverge branch).
         if self.annotation:
@@ -492,6 +495,7 @@ class VectorizedTimingSimulator(TimingSimulator):
         lat_table = self._lat_table
         src1_table = self._src1_table
         src2_table = self._src2_table
+        src3_table = self._src3_table
         dest_table = self._dest_table
         target_by_pc = self._target_by_pc
 
@@ -611,6 +615,7 @@ class VectorizedTimingSimulator(TimingSimulator):
             lat_w = lat_table[pcs_w]
             src1_l = src1_table[pcs_w].tolist()
             src2_l = src2_table[pcs_w].tolist()
+            src3_l = src3_table[pcs_w].tolist()
             dest_l = dest_table[pcs_w].tolist()
             if profiling:
                 charge(FETCH)
@@ -665,8 +670,8 @@ class VectorizedTimingSimulator(TimingSimulator):
             ctl_cursor = 0
 
             # ---- lean replay over the window ------------------------
-            for k, pc, lat, src1, src2, dest in zip(
-                kinds_l, pcs_l, lat_l, src1_l, src2_l, dest_l
+            for k, pc, lat, src1, src2, src3, dest in zip(
+                kinds_l, pcs_l, lat_l, src1_l, src2_l, src3_l, dest_l
             ):
                 # ---- episode bookkeeping at the fetch boundary ------
                 if episode is not None:
@@ -741,6 +746,9 @@ class VectorizedTimingSimulator(TimingSimulator):
                 if ready > start:
                     start = ready
                 ready = reg_ready[src2]
+                if ready > start:
+                    start = ready
+                ready = reg_ready[src3]
                 if ready > start:
                     start = ready
                 complete = start + lat

@@ -73,7 +73,13 @@ def twolf(suite_artifacts):
 
 
 class TestPipelineEquivalence:
-    @pytest.mark.parametrize("preset", registry.names())
+    # Transform presets (meld=...) rewrite the program, which the
+    # annotation-only legacy oracle by definition never did; the
+    # annotation-only presets must stay byte-identical to it.
+    @pytest.mark.parametrize("preset", [
+        n for n in registry.names()
+        if registry.resolve(n).meld is None
+    ])
     def test_preset_matches_legacy_on_every_workload(
         self, preset, suite_artifacts
     ):

@@ -389,3 +389,55 @@ def test_per_branch_accounting_is_off_by_default():
     assert simulator.ledger is None
     stats = simulator.run(artifacts.trace)
     assert stats.per_branch == {}
+
+
+# -- meld-aware explain (branches removed by a transform) ---------------------
+
+MELD_SCALE = 0.2
+#: Pinned fixture: the vpr hammocks the meld:short transform removes at
+#: scale 0.2.  A matcher or selection change that alters this set must
+#: update the pin deliberately.
+VPR_MELDED_PCS = [8, 16, 24]
+
+
+def test_explain_reports_melded_branches():
+    data = build_explain(
+        "vpr", registry.resolve("meld+all-best-heur"), scale=MELD_SCALE
+    )
+    assert data["melded_branches"] == VPR_MELDED_PCS
+    by_pc = {e["branch_pc"]: e for e in data["branches"]}
+    for pc in VPR_MELDED_PCS:
+        assert by_pc[pc]["verdict"] == "melded"
+        assert by_pc[pc]["reason"] == "melded"
+    assert data["summary"]["melded"] == len(VPR_MELDED_PCS)
+    assert data["reconciliation"]["consistent"]
+    # Selected pcs were translated back to original coordinates, so
+    # they never collide with the removed hammock branches.
+    selected = [
+        e["branch_pc"] for e in data["branches"]
+        if e["verdict"] == "selected"
+    ]
+    assert selected
+    assert not set(selected) & set(VPR_MELDED_PCS)
+
+
+def test_explain_meld_json_validates_against_schema(tmp_path):
+    out = str(tmp_path / "meld.json")
+    rc = explain_main([
+        "vpr", "--config", "meld+all-best-heur",
+        "--scale", str(MELD_SCALE), "--json", "-o", out,
+    ])
+    assert rc == 0
+    data = json.load(open(out, encoding="utf-8"))
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    assert validate_explain(data, schema) == []
+    assert data["melded_branches"] == VPR_MELDED_PCS
+
+
+def test_explain_text_mentions_melded(capsys):
+    rc = explain_main(["vpr", "--config", "meld",
+                       "--scale", str(MELD_SCALE)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "melded (statically if-converted)" in text

@@ -262,3 +262,71 @@ def test_simulator_cycle_count_sane(seed):
     assert stats.cycles >= len(trace) // 8
     assert stats.cycles <= len(trace) * 400
     assert stats.retired_instructions == len(trace)
+
+
+# -- pipeline spec grammar ----------------------------------------------------
+
+
+@st.composite
+def pipeline_specs(draw):
+    """A random valid spec string over the full token grammar.
+
+    Tokens are drawn with their bare/explicit spellings (``meld`` vs
+    ``meld:short``, ``cost`` vs ``cost:edge``) and shuffled, since the
+    grammar is order-insensitive.
+    """
+    tokens = []
+    meld = draw(st.sampled_from(
+        [None, "meld", "meld:short", "meld:all"]
+    ))
+    if meld is not None:
+        tokens.append(meld)
+    for flag in ("exact", "freq", "short", "ret", "loop"):
+        if draw(st.booleans()):
+            tokens.append(flag)
+    cost = draw(st.sampled_from([None, "cost", "cost:edge", "cost:long"]))
+    if cost is not None:
+        tokens.append(cost)
+    # Four decimal places survive the %g formatting format_spec uses.
+    minmisp = draw(st.one_of(
+        st.none(),
+        st.integers(min_value=1, max_value=5000).map(
+            lambda n: n / 10000
+        ),
+    ))
+    if minmisp is not None:
+        tokens.append(f"minmisp:{minmisp}")
+    if not tokens:
+        tokens.append("exact")
+    return ",".join(draw(st.permutations(tokens)))
+
+
+def _spec_fields(config):
+    """The semantic payload a spec string determines."""
+    return (
+        config.enable_exact,
+        config.enable_freq,
+        config.enable_short,
+        config.enable_return_cfm,
+        config.enable_loop,
+        config.cost_model,
+        config.min_misp_rate,
+        config.meld,
+    )
+
+
+@given(pipeline_specs())
+@settings(max_examples=200, deadline=None)
+def test_parse_format_spec_round_trip(spec):
+    from repro.compiler.pipeline import format_spec, parse_spec
+
+    config = parse_spec(spec)
+    canonical = format_spec(config)
+    reparsed = parse_spec(canonical)
+    # format ∘ parse loses nothing the grammar expresses...
+    assert _spec_fields(reparsed) == _spec_fields(config)
+    # ...and is a fixed point (the canonical spelling is stable).
+    assert format_spec(reparsed) == canonical
+    # Canonical specs schedule the meld token first.
+    if config.meld is not None:
+        assert canonical.startswith("meld:")
