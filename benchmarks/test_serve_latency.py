@@ -107,3 +107,30 @@ def test_cold_then_warm_compile_latency(server, benchmark):
     # The cold/warm gap is what holding warm process state buys; a
     # conservative floor so a cache regression trips CI loudly.
     assert cold_seconds / p50 > 2.0
+
+
+def test_traced_warm_compile_latency(tmp_path_factory, benchmark):
+    """Warm throughput with per-request tracing *enabled*.
+
+    Tracked separately from ``serve_warm_requests_per_sec`` (which
+    stays tracing-off, guarding the "disabled tracing is free"
+    contract): this key prices the span spool fsync-free appends and
+    context bookkeeping a traced request pays.
+    """
+    trace_dir = tmp_path_factory.mktemp("serve-trace")
+    srv = build_server(("127.0.0.1", 0),
+                       ServeApp(trace_dir=str(trace_dir)))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        _post_compile(srv)  # warm up
+        benchmark.pedantic(
+            lambda: _post_compile(srv),
+            rounds=WARM_ROUNDS, iterations=1,
+        )
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+    stats = benchmark.stats.stats
+    _RESULTS["serve_traced_warm_requests_per_sec"] = 1.0 / stats.mean

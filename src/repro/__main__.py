@@ -10,7 +10,14 @@ Telemetry (see ``docs/observability.md``)::
 
     python -m repro fig5 --trace run.jsonl --metrics run.json
     python -m repro trace-report run.jsonl
+    python -m repro trace-report run.jsonl --trace-id 4bf92f35...
     python -m repro all --manifest results/run_manifest.json
+
+Distributed tracing (see ``docs/observability.md``)::
+
+    python -m repro fig5 --trace-dir results/trace
+    python -m repro trace list --dir results/trace
+    python -m repro trace show <trace_id> --dir results/trace
 
 Performance (see ``docs/performance.md``)::
 
@@ -52,6 +59,7 @@ Serving daemon (see ``docs/serving.md``)::
 
 import argparse
 import sys
+from contextlib import ExitStack
 
 from repro.exec import artifact_cache, default_jobs
 from repro.experiments import (
@@ -71,9 +79,11 @@ from repro.obs import (
     MetricsRegistry,
     NULL_TRACER,
     PhaseProfile,
+    activate,
     build_manifest,
     format_trace_report,
     jsonl_tracer,
+    span,
     summarize_trace,
     telemetry,
     write_manifest,
@@ -119,6 +129,10 @@ def main(argv=None):
         from repro.serve.daemon import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.traceview import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -188,6 +202,21 @@ def main(argv=None):
              "selection decisions) as JSONL",
     )
     parser.add_argument(
+        "--trace-id",
+        metavar="ID",
+        default=None,
+        help="for trace-report: keep only events stamped with this "
+             "distributed trace id",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="span spool directory for distributed tracing: the run "
+             "becomes one trace ('python -m repro trace show <id>' "
+             "merges it with any worker processes)",
+    )
+    parser.add_argument(
         "--metrics",
         metavar="OUT.json",
         default=None,
@@ -236,7 +265,7 @@ def main(argv=None):
         if not args.path:
             parser.error("trace-report requires a trace log path")
         try:
-            summary = summarize_trace(args.path)
+            summary = summarize_trace(args.path, trace_id=args.trace_id)
         except OSError as exc:
             print(f"python -m repro: error: cannot read trace: {exc}",
                   file=sys.stderr)
@@ -264,13 +293,32 @@ def main(argv=None):
         args.trace or args.metrics or args.manifest
     )
 
+    ctx = None
+    if args.trace_dir:
+        from repro.obs import tracectx
+
+        ctx = tracectx.TraceContext.root(
+            service="repro", trace_dir=args.trace_dir,
+            attrs={"artifact": args.artifact},
+        )
     try:
-        with telemetry(tracer=tracer, metrics=registry, phases=phases):
+        with ExitStack() as stack:
+            stack.enter_context(
+                telemetry(tracer=tracer, metrics=registry,
+                          phases=phases))
+            stack.enter_context(activate(ctx))
+            if ctx is not None:
+                stack.enter_context(span(f"repro.{args.artifact}"))
             status = _run_artifact(args, benchmarks)
     finally:
         tracer.close()
     if status:
         return status
+
+    if ctx is not None:
+        print(f"[obs] trace {ctx.trace_id} spooled to {args.trace_dir} "
+              f"(python -m repro trace show {ctx.trace_id} "
+              f"--dir {args.trace_dir})")
 
     if args.trace:
         print(f"[obs] trace written to {args.trace}")

@@ -29,8 +29,9 @@ A backend implements:
 ``owns(cell)``
     Does this backend instance execute this cell?  The scheduler skips
     cells it does not own (they are some other shard's work, not gaps).
-``launch(fn, cell, attempt, sim_engine=None)``
-    Start one attempt; returns a :class:`WorkerHandle`.
+``launch(fn, cell, attempt, sim_engine=None, trace=None)``
+    Start one attempt (``trace`` is the optional distributed-trace
+    propagation payload); returns a :class:`WorkerHandle`.
 ``wait(handles, timeout)``
     Block up to ``timeout`` seconds; return the handles with a result
     ready (liveness/timeout sweeps stay in the scheduler).
@@ -73,11 +74,22 @@ def cell_usage():
     }
 
 
-def cell_worker(conn, fn, params, sim_engine=None):
-    """Run one cell under fresh telemetry; ship outcome over the pipe."""
+def cell_worker(conn, fn, params, sim_engine=None, trace=None):
+    """Run one cell under fresh telemetry; ship outcome over the pipe.
+
+    ``trace`` is an optional distributed-trace propagation payload
+    (:meth:`~repro.obs.tracectx.TraceContext.propagation`); when
+    present the cell runs inside a ``cell`` span parented to the
+    scheduler's campaign span, spooled to the shared trace directory —
+    so a 2-shard run merges into one cross-process timeline.  When
+    absent (tracing off) the worker behaves exactly as before and the
+    journal stays byte-identical.
+    """
     import signal
 
+    from repro.obs import tracectx
     from repro.obs.context import telemetry
+    from repro.obs.spans import span
 
     # Forked workers inherit the CLI's graceful-exit SIGTERM handler;
     # restore the default so a post-collect terminate() kills the
@@ -89,11 +101,19 @@ def cell_worker(conn, fn, params, sim_engine=None):
         from repro.uarch import set_default_engine
 
         set_default_engine(sim_engine)
+    ctx = tracectx.TraceContext.from_propagation(
+        trace, service="campaign-worker"
+    )
     registry = MetricsRegistry()
     phases = PhaseProfile()
     try:
         with telemetry(metrics=registry, phases=phases):
-            result = fn(params)
+            if ctx is not None:
+                with tracectx.activate(ctx):
+                    with span("cell"):
+                        result = fn(params)
+            else:
+                result = fn(params)
         payload = {
             "ok": True,
             "result": result,
@@ -143,11 +163,11 @@ class LocalPoolBackend:
         """The journal file this backend writes inside a campaign dir."""
         return JOURNAL_NAME
 
-    def launch(self, fn, cell, attempt, sim_engine=None):
+    def launch(self, fn, cell, attempt, sim_engine=None, trace=None):
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=cell_worker,
-            args=(child_conn, fn, cell.params, sim_engine),
+            args=(child_conn, fn, cell.params, sim_engine, trace),
             daemon=True,
         )
         process.start()

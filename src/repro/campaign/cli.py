@@ -1,4 +1,4 @@
-"""``python -m repro campaign {run,resume,status,report,merge}``.
+"""``python -m repro campaign {run,resume,status,watch,report,merge}``.
 
 A campaign lives in one directory (default
 ``results/campaigns/<name>/``) holding the frozen ``spec.json`` and
@@ -44,6 +44,8 @@ from repro.campaign.scheduler import (
     Scheduler,
 )
 from repro.campaign.spec import CampaignSpec
+from repro.obs import tracectx
+from repro.obs.spans import span
 
 #: Campaign directories live here unless ``--results-dir`` overrides.
 DEFAULT_RESULTS_DIR = os.path.join("results", "campaigns")
@@ -144,6 +146,20 @@ def _build_parser():
     status.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     status.set_defaults(handler=_cmd_status)
 
+    watch = sub.add_parser(
+        "watch",
+        help="live status view tailing the journal(s) across shards "
+             "(pure reader; never perturbs the run)",
+    )
+    watch.add_argument("target", help="campaign name or directory")
+    watch.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="S",
+                       help="seconds between refreshes (default 2)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    watch.set_defaults(handler=_cmd_watch)
+
     report = sub.add_parser(
         "report", help="deterministic per-cell and aggregate tables"
     )
@@ -208,6 +224,11 @@ def _add_exec_args(sub):
                           "(requires --shards)")
     sub.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
                      help=f"campaign root (default {DEFAULT_RESULTS_DIR})")
+    sub.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="enable distributed tracing: spool spans "
+                          "from the scheduler and every cell worker "
+                          "into DIR (default: $REPRO_TRACE_DIR when "
+                          "set; see 'python -m repro trace show')")
 
 
 def _resolve_backend(parser, args):
@@ -282,6 +303,30 @@ def _cmd_resume(parser, args):
     return _execute(spec, directory, args, state, backend)
 
 
+def _trace_context(args, backend):
+    """The run's :class:`~repro.obs.tracectx.TraceContext`, or None.
+
+    Tracing is opt-in: ``--trace-dir DIR`` (or an inherited
+    ``REPRO_TRACE_DIR``) turns it on.  When ``REPRO_TRACEPARENT`` is
+    also set, this run *joins* the caller's trace (e.g. a driver
+    orchestrating several shards) instead of rooting a new one.
+    """
+    trace_dir = args.trace_dir \
+        or os.environ.get(tracectx.TRACE_DIR_ENV) or None
+    if not trace_dir:
+        return None
+    service = "campaign"
+    if isinstance(backend, ShardedBackend):
+        service = f"campaign-shard{backend.shard_index}"
+    ctx = tracectx.TraceContext.from_env(service=service)
+    if ctx is not None:
+        if ctx.spool is None:
+            ctx.spool = tracectx.SpanSpool(trace_dir)
+        return ctx
+    return tracectx.TraceContext.root(service=service,
+                                      trace_dir=trace_dir)
+
+
 def _execute(spec, directory, args, state, backend):
     if args.jobs < 1:
         raise ValueError("--jobs must be >= 1")
@@ -302,8 +347,19 @@ def _execute(spec, directory, args, state, backend):
         return 0
     print(f"campaign {spec.name!r}: {len(pending)}/{total} cells to "
           f"run under {args.jobs} worker(s){shard_note} [{directory}]")
-    with Journal(os.path.join(directory,
-                              backend.journal_name())) as journal:
+    ctx = _trace_context(args, backend)
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        stack.enter_context(tracectx.activate(ctx))
+        if ctx is not None:
+            stack.enter_context(span(
+                "campaign.run",
+                attrs={"campaign": spec.name, "pending": len(pending)},
+            ))
+        journal = stack.enter_context(
+            Journal(os.path.join(directory, backend.journal_name()))
+        )
         journal.campaign_start(spec.name, spec.spec_hash, args.jobs)
         scheduler = Scheduler(
             spec, journal,
@@ -320,6 +376,9 @@ def _execute(spec, directory, args, state, backend):
     print(f"campaign {spec.name!r}: {completed}/{total} cells complete, "
           f"{quarantined} quarantined, "
           f"{summary['session_completed']} run this session")
+    if ctx is not None:
+        print(f"  trace: python -m repro trace show {ctx.trace_id} "
+              f"--dir {ctx.spool.directory}")
     if summary["interrupted"]:
         print(f"  interrupted with {summary['pending']} cells pending; "
               f"resume with: python -m repro campaign resume {spec.name}")
@@ -361,6 +420,20 @@ def _cmd_status(parser, args):
     state = replay(os.path.join(directory, JOURNAL_NAME))
     print(render_status(spec, state, directory=directory))
     return 0
+
+
+def _cmd_watch(parser, args):
+    from repro.campaign.watch import watch_loop
+
+    directory = _campaign_dir(args.target, args.results_dir)
+    spec_path = os.path.join(directory, SPEC_NAME)
+    if not os.path.exists(spec_path):
+        parser.error(f"no campaign spec at {spec_path}")
+    spec = CampaignSpec.load(spec_path)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    return watch_loop(spec, directory, interval=args.interval,
+                      once=args.once)
 
 
 def _cmd_report(parser, args):

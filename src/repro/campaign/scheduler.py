@@ -33,7 +33,7 @@ import time
 
 from repro.campaign.backends import LocalPoolBackend, cell_usage
 from repro.campaign.spec import resolve_cell_fn
-from repro.obs import events
+from repro.obs import events, tracectx
 from repro.obs.context import get_metrics, get_phases, get_tracer
 
 #: Total attempts (first try + retries) before a cell is quarantined.
@@ -207,8 +207,15 @@ class Scheduler:
                 campaign=self.spec.name, cell_id=cell.cell_id,
                 label=cell.label(), attempt=attempt,
             ))
+        ctx = tracectx.current()
+        trace = None
+        if ctx is not None:
+            trace = ctx.propagation(
+                attrs={"cell_id": cell.cell_id, "attempt": attempt}
+            )
         return self.backend.launch(
-            self._fn, cell, attempt, sim_engine=self.sim_engine
+            self._fn, cell, attempt, sim_engine=self.sim_engine,
+            trace=trace,
         )
 
     def _reap(self, running):

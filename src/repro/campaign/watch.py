@@ -1,0 +1,214 @@
+"""``python -m repro campaign watch`` — live campaign status.
+
+A pure *reader* over the campaign directory: each refresh re-replays
+the journal — or, for a sharded run, every shard journal present —
+exactly like ``campaign status`` does, so watching never perturbs the
+run (no locks, no writes, torn tails tolerated because a shard is
+probably mid-append right now).  The rendered frame shows, per
+journal:
+
+- progress (settled/owned cells, with a bar);
+- retry and quarantine counts, failures awaiting retry;
+- in-flight cells (started in the live session, not yet finished);
+- cell throughput over a trailing window and the ETA it implies.
+
+``--once`` renders a single frame and exits (tests, CI, cron); the
+default loops every ``--interval`` seconds until ^C, clearing the
+screen between frames when stdout is a terminal.
+"""
+
+import os
+import time
+
+from repro.campaign.backends import shard_of
+from repro.campaign.journal import (
+    JOURNAL_NAME,
+    find_shard_journals,
+    replay,
+)
+from repro.obs.tracer import iter_records
+
+#: Trailing window (seconds) for the cell-throughput estimate.
+RATE_WINDOW_SECONDS = 120.0
+
+
+def scan_finishes(path):
+    """``(finish_timestamps, retry_starts)`` from one journal file.
+
+    A raw, torn-tail-tolerant pass: ``replay`` gives the settled
+    *state*, this gives the *when* — finish timestamps drive the
+    throughput/ETA estimate, and ``cell.start`` records with attempt
+    > 1 count as retries launched.
+    """
+    finishes = []
+    retries = 0
+    if not os.path.exists(path):
+        return finishes, retries
+    for record in iter_records(path, strict=False):
+        kind = record.get("type")
+        if kind == "cell.finish":
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                finishes.append(float(ts))
+        elif kind == "cell.start" and record.get("attempt", 1) > 1:
+            retries += 1
+    return finishes, retries
+
+
+def journal_targets(spec, directory):
+    """The journals to watch: ``[(label, path, owned_cells)]``.
+
+    An unsharded (or merged) ``journal.jsonl`` is watched as one row
+    owning every cell; otherwise each shard journal present becomes a
+    row owning its partition.  Both can coexist after a merge — the
+    merged journal wins, matching ``status``/``report``.
+    """
+    cells = spec.cells()
+    main = os.path.join(directory, JOURNAL_NAME)
+    if os.path.exists(main) and os.path.getsize(main) > 0:
+        return [("all", main, list(cells))]
+    try:
+        shards = find_shard_journals(directory)
+    except ValueError:
+        shards = []
+    if not shards:
+        return [("all", main, list(cells))]
+    targets = []
+    for index, count, path in shards:
+        owned = [
+            cell for cell in cells
+            if shard_of(cell.cell_id, count) == index
+        ]
+        targets.append((f"shard {index}/{count}", path, owned))
+    return targets
+
+
+def build_watch(spec, directory, now=None):
+    """One JSON-ready status frame for the campaign (pure reader)."""
+    now = time.time() if now is None else now
+    rows = []
+    total_rate = 0.0
+    for label, path, owned in journal_targets(spec, directory):
+        state = replay(path)
+        owned_ids = {cell.cell_id for cell in owned}
+        done = len(owned_ids & set(state.results))
+        quarantined = len(owned_ids & state.quarantined)
+        finishes, retries = scan_finishes(path)
+        window_start = now - RATE_WINDOW_SECONDS
+        recent = [ts for ts in finishes if ts >= window_start]
+        if recent:
+            elapsed = max(now - min(recent), 1e-6)
+            rate = len(recent) / elapsed
+        else:
+            rate = 0.0
+        total_rate += rate
+        rows.append({
+            "label": label,
+            "journal": os.path.basename(path),
+            "owned": len(owned_ids),
+            "done": done,
+            "quarantined": quarantined,
+            "failing": len({
+                cell_id for cell_id in state.failures
+                if cell_id in owned_ids
+                and cell_id not in state.results
+                and cell_id not in state.quarantined
+            }),
+            "in_flight": len(state.in_flight),
+            "retries": retries,
+            "sessions": state.sessions,
+            "corrupt_lines": state.corrupt_lines,
+            "cells_per_sec": rate,
+        })
+    owned_total = sum(row["owned"] for row in rows)
+    settled = sum(row["done"] + row["quarantined"] for row in rows)
+    pending = owned_total - settled
+    eta = pending / total_rate if total_rate > 0 and pending else None
+    return {
+        "campaign": spec.name,
+        "directory": directory,
+        "ts": now,
+        "rows": rows,
+        "total_cells": len(spec.cells()),
+        "owned_cells": owned_total,
+        "settled_cells": settled,
+        "pending_cells": pending,
+        "cells_per_sec": total_rate,
+        "eta_seconds": eta,
+    }
+
+
+def _bar(done, total, width=24):
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(round(width * min(done / total, 1.0)))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _format_eta(seconds):
+    if seconds is None:
+        return "--"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_watch(frame):
+    """One human-readable frame of :func:`build_watch` data."""
+    clock = time.strftime("%H:%M:%S", time.localtime(frame["ts"]))
+    lines = [
+        f"campaign {frame['campaign']!r} — "
+        f"{frame['settled_cells']}/{frame['owned_cells']} cells settled"
+        f", {frame['pending_cells']} pending  ({clock})",
+    ]
+    for row in frame["rows"]:
+        settled = row["done"] + row["quarantined"]
+        bar = _bar(settled, row["owned"])
+        extras = []
+        if row["in_flight"]:
+            extras.append(f"{row['in_flight']} in flight")
+        if row["failing"]:
+            extras.append(f"{row['failing']} failing")
+        if row["retries"]:
+            extras.append(f"{row['retries']} retries")
+        if row["quarantined"]:
+            extras.append(f"{row['quarantined']} quarantined")
+        if row["corrupt_lines"]:
+            extras.append(f"{row['corrupt_lines']} torn lines")
+        suffix = f"  ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"  {row['label']:<12} {bar} "
+            f"{settled:>4}/{row['owned']:<4} "
+            f"{row['cells_per_sec']:6.2f} cells/s{suffix}"
+        )
+    lines.append(
+        f"  throughput {frame['cells_per_sec']:.2f} cells/s, "
+        f"eta {_format_eta(frame['eta_seconds'])}"
+    )
+    return "\n".join(lines)
+
+
+def watch_loop(spec, directory, interval=2.0, once=False,
+               stream=None, clear=None):
+    """Render frames until interrupted; returns an exit code."""
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    if clear is None:
+        clear = stream.isatty()
+    try:
+        while True:
+            frame = build_watch(spec, directory)
+            if clear:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(render_watch(frame) + "\n")
+            stream.flush()
+            if once:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        stream.write("\n")
+        return 0

@@ -37,6 +37,7 @@ artifact building and simulation are deterministic functions of
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.obs import tracectx
 from repro.obs.context import get_metrics, get_phases, telemetry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import span
@@ -90,7 +91,7 @@ def resolve_jobs(jobs):
     return jobs
 
 
-def _run_job(fn, args):
+def _run_job(fn, args, trace=None, label=None):
     """Worker-side wrapper: isolate telemetry and ship snapshots back.
 
     The full hierarchical span snapshot travels back (not the flat
@@ -98,12 +99,22 @@ def _run_job(fn, args):
     spans across the process boundary, and the parent's
     :class:`PhaseProfile` — a depth-1 view over that tree — follows
     automatically without double counting.
+
+    ``trace`` is an optional distributed-trace propagation payload
+    (:meth:`~repro.obs.tracectx.TraceContext.propagation`): when
+    present the job's ``cell`` span — and everything nested inside it —
+    lands in the shared trace spool, parented to the span that was
+    active in the parent when the plan was submitted.
     """
     registry = MetricsRegistry()
     phases = PhaseProfile()
+    ctx = tracectx.TraceContext.from_propagation(
+        trace, service="exec-worker"
+    )
     with telemetry(metrics=registry, phases=phases):
-        with span("cell"):
-            result = fn(*args)
+        with tracectx.activate(ctx):
+            with span("cell", attrs={"job": label} if label else None):
+                result = fn(*args)
     return result, registry.as_dict(), phases.spans_as_dict()
 
 
@@ -132,17 +143,20 @@ def execute(jobs_list, jobs=None):
             # Same ``cell`` span as the worker path, so serial and
             # parallel runs produce structurally identical span trees
             # (and serial ``--trace`` runs carry span.end events).
-            with span("cell"):
+            with span("cell", attrs={"job": job.label}):
                 results.append(job.run())
         return results
 
     metrics = get_metrics()
     phases = get_phases()
+    ctx = tracectx.current()
+    trace = ctx.propagation() if ctx is not None else None
     payloads = []
     max_workers = min(workers, len(planned))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = [
-            pool.submit(_run_job, job.fn, job.args) for job in planned
+            pool.submit(_run_job, job.fn, job.args, trace, job.label)
+            for job in planned
         ]
         try:
             for job, future in zip(planned, futures):

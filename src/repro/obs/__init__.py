@@ -60,6 +60,19 @@ from repro.obs.metrics import (
 from repro.obs.spans import PATH_SEP, SpanHandle, SpanTree, span
 from repro.obs.timers import PhaseProfile, phase
 from repro.obs.trace_report import format_trace_report, summarize_trace
+from repro.obs.tracectx import (
+    TRACE_DIR_ENV,
+    TRACE_HEADER,
+    TRACEPARENT_ENV,
+    SpanSpool,
+    TraceContext,
+    activate,
+    current,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -106,6 +119,17 @@ __all__ = [
     "span",
     "format_trace_report",
     "summarize_trace",
+    "TRACE_DIR_ENV",
+    "TRACE_HEADER",
+    "TRACEPARENT_ENV",
+    "SpanSpool",
+    "TraceContext",
+    "activate",
+    "current",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "NULL_TRACER",
     "JsonlSink",
     "ListSink",

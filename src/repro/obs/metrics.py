@@ -15,6 +15,7 @@ JSON-ready snapshot (the run manifest embeds one), and
 """
 
 import json
+import threading
 from bisect import bisect_left
 
 from repro.ioutil import ensure_parent
@@ -23,7 +24,7 @@ from repro.ioutil import ensure_parent
 class Counter:
     """A monotonically increasing value (int or float)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     kind = "counter"
 
@@ -31,11 +32,13 @@ class Counter:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.RLock()
 
     def inc(self, amount=1):
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self):
         return {"kind": self.kind, "value": self.value}
@@ -44,7 +47,7 @@ class Counter:
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     kind = "gauge"
 
@@ -52,15 +55,19 @@ class Gauge:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.RLock()
 
     def set(self, value):
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount=1):
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount=1):
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def as_dict(self):
         return {"kind": self.kind, "value": self.value}
@@ -76,7 +83,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "bounds", "counts", "overflow",
-                 "total", "sum")
+                 "total", "sum", "_lock")
 
     kind = "histogram"
 
@@ -95,15 +102,17 @@ class Histogram:
         self.overflow = 0
         self.total = 0
         self.sum = 0.0
+        self._lock = threading.RLock()
 
     def observe(self, value):
         index = bisect_left(self.bounds, value)
-        if index == len(self.bounds):
-            self.overflow += 1
-        else:
-            self.counts[index] += 1
-        self.total += 1
-        self.sum += value
+        with self._lock:
+            if index == len(self.bounds):
+                self.overflow += 1
+            else:
+                self.counts[index] += 1
+            self.total += 1
+            self.sum += value
 
     @property
     def mean(self):
@@ -151,10 +160,18 @@ class MetricsRegistry:
 
     Asking for an existing name with a different instrument kind (or
     different histogram buckets) is a programming error and raises.
+
+    Explicitly thread-safe: one reentrant registry lock guards
+    instrument creation, snapshotting, merging, and rendering, and
+    every instrument the registry creates *shares* that lock for its
+    own mutations — so concurrent serve-daemon request threads can
+    increment counters while another thread renders ``/metrics``
+    without torn reads, by design rather than by GIL accident.
     """
 
     def __init__(self):
         self._instruments = {}
+        self._lock = threading.RLock()
 
     def counter(self, name, help=""):
         return self._get_or_create(name, Counter, help=help)
@@ -163,11 +180,13 @@ class MetricsRegistry:
         return self._get_or_create(name, Gauge, help=help)
 
     def histogram(self, name, buckets, help=""):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Histogram(name, buckets, help=help)
-            self._instruments[name] = instrument
-            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets, help=help)
+                instrument._lock = self._lock
+                self._instruments[name] = instrument
+                return instrument
         if not isinstance(instrument, Histogram):
             raise TypeError(
                 f"metric {name!r} already registered as {instrument.kind}"
@@ -180,11 +199,14 @@ class MetricsRegistry:
         return instrument
 
     def _get_or_create(self, name, cls, help=""):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = cls(name, help=help)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help=help)
+                instrument._lock = self._lock
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {instrument.kind}"
             )
@@ -205,10 +227,11 @@ class MetricsRegistry:
 
     def as_dict(self):
         """JSON-ready snapshot of every instrument, sorted by name."""
-        return {
-            name: self._instruments[name].as_dict()
-            for name in sorted(self._instruments)
-        }
+        with self._lock:
+            return {
+                name: self._instruments[name].as_dict()
+                for name in sorted(self._instruments)
+            }
 
     def merge_snapshot(self, snapshot):
         """Fold another registry's :meth:`as_dict` snapshot into this one.
@@ -222,27 +245,29 @@ class MetricsRegistry:
         here with the snapshot's bounds when absent).  Returns ``self``
         for chaining.
         """
-        for name, entry in snapshot.items():
-            kind = entry.get("kind")
-            if kind == "counter":
-                self.counter(name).inc(entry.get("value", 0))
-            elif kind == "gauge":
-                self.gauge(name).set(entry.get("value", 0))
-            elif kind == "histogram":
-                buckets = entry.get("buckets", {})
-                bounds = tuple(
-                    float(b) if "." in b else int(b) for b in buckets
-                )
-                histogram = self.histogram(name, bounds or (1,))
-                for index, count in enumerate(buckets.values()):
-                    histogram.counts[index] += count
-                histogram.overflow += entry.get("overflow", 0)
-                histogram.total += entry.get("count", 0)
-                histogram.sum += entry.get("sum", 0.0)
-            else:
-                raise ValueError(
-                    f"snapshot entry {name!r} has unknown kind {kind!r}"
-                )
+        with self._lock:
+            for name, entry in snapshot.items():
+                kind = entry.get("kind")
+                if kind == "counter":
+                    self.counter(name).inc(entry.get("value", 0))
+                elif kind == "gauge":
+                    self.gauge(name).set(entry.get("value", 0))
+                elif kind == "histogram":
+                    buckets = entry.get("buckets", {})
+                    bounds = tuple(
+                        float(b) if "." in b else int(b) for b in buckets
+                    )
+                    histogram = self.histogram(name, bounds or (1,))
+                    for index, count in enumerate(buckets.values()):
+                        histogram.counts[index] += count
+                    histogram.overflow += entry.get("overflow", 0)
+                    histogram.total += entry.get("count", 0)
+                    histogram.sum += entry.get("sum", 0.0)
+                else:
+                    raise ValueError(
+                        f"snapshot entry {name!r} has unknown kind "
+                        f"{kind!r}"
+                    )
         return self
 
     def write_json(self, path):
@@ -263,6 +288,10 @@ class MetricsRegistry:
         bounds rendered as ``le=`` labels, plus the ``+Inf`` bucket,
         ``_count`` and ``_sum`` samples.  Ends with ``# EOF``.
         """
+        with self._lock:
+            return self._render_openmetrics_locked()
+
+    def _render_openmetrics_locked(self):
         lines = []
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
@@ -276,7 +305,9 @@ class MetricsRegistry:
                 family = name
             lines.append(f"# TYPE {family} {kind}")
             if instrument.help:
-                lines.append(f"# HELP {family} {instrument.help}")
+                lines.append(
+                    f"# HELP {family} {escape_help(instrument.help)}"
+                )
             if kind == "counter":
                 lines.append(f"{family}_total {instrument.value}")
             elif kind == "gauge":
@@ -303,6 +334,21 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render_openmetrics())
         return path
+
+
+def escape_help(text):
+    """Escape a HELP string for the text exposition format.
+
+    Backslashes and newlines must be escaped (``\\\\`` and ``\\n``) so a
+    multi-line help string cannot break the line-oriented format —
+    the OpenMetrics escaping rules for label values and help text.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text):
+    """Escape a label value (adds ``\\"`` for embedded quotes)."""
+    return escape_help(text).replace('"', '\\"')
 
 
 def _parse_number(text):

@@ -153,15 +153,22 @@ class SpanTree:
 
 
 @contextmanager
-def span(name, events=0, tree=None, metrics=None, tracer=None):
+def span(name, events=0, tree=None, metrics=None, tracer=None,
+         attrs=None):
     """Time one nested region; see the module docstring for the contract.
 
     ``tree``/``metrics``/``tracer`` default to the active telemetry
     context (the tree lives on the context's phase profile).  The span
     stack unwinds correctly when the body raises: the handle is popped
     and the elapsed time recorded either way.
+
+    When a distributed :class:`~repro.obs.tracectx.TraceContext` is
+    active on this thread, the span also gets a trace-wide span id and
+    appends a record to the per-process spool on close; ``attrs`` ride
+    along on that record only (never into metric names, which must stay
+    low-cardinality).
     """
-    from repro.obs import context
+    from repro.obs import context, tracectx
 
     tree = tree if tree is not None else context.get_phases().spans
     metrics = metrics if metrics is not None else context.get_metrics()
@@ -171,6 +178,10 @@ def span(name, events=0, tree=None, metrics=None, tracer=None):
     stack = tree._stack
     path = tuple(h.name for h in stack) + (name,)
     stack.append(handle)
+    ctx = tracectx.current()
+    if ctx is not None:
+        span_id, parent_id = ctx.enter_span()
+        start_ts = time.time()
     start = time.perf_counter()
     try:
         yield handle
@@ -197,3 +208,9 @@ def span(name, events=0, tree=None, metrics=None, tracer=None):
                 self_seconds=self_seconds,
                 events=handle.events,
             ))
+        if ctx is not None:
+            ctx.exit_span(
+                span_id, parent_id, name, PATH_SEP.join(path),
+                start_ts, elapsed, self_seconds,
+                events=handle.events, attrs=attrs,
+            )

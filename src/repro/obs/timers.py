@@ -132,7 +132,7 @@ def phase(name, events=0, profile=None, metrics=None, tracer=None):
     ``profile``/``metrics``/``tracer`` default to the active telemetry
     context (:mod:`repro.obs.context`).
     """
-    from repro.obs import context
+    from repro.obs import context, tracectx
 
     profile = profile if profile is not None else context.get_phases()
     metrics = metrics if metrics is not None else context.get_metrics()
@@ -140,6 +140,10 @@ def phase(name, events=0, profile=None, metrics=None, tracer=None):
 
     handle = PhaseHandle(name)
     handle.events = events
+    ctx = tracectx.current()
+    if ctx is not None:
+        span_id, parent_id = ctx.enter_span()
+        start_ts = time.time()
     start = time.perf_counter()
     try:
         yield handle
@@ -156,3 +160,8 @@ def phase(name, events=0, profile=None, metrics=None, tracer=None):
             tracer.emit(PhaseEnd(
                 name=name, seconds=elapsed, events=handle.events
             ))
+        if ctx is not None:
+            ctx.exit_span(
+                span_id, parent_id, name, name, start_ts, elapsed,
+                elapsed, events=handle.events,
+            )

@@ -13,9 +13,19 @@ from collections import Counter as TallyCounter
 from repro.obs.tracer import iter_records
 
 
-def summarize_trace(path):
-    """Aggregate one JSONL trace log into a summary dict."""
+def summarize_trace(path, trace_id=None):
+    """Aggregate one JSONL trace log into a summary dict.
+
+    ``trace_id``, when given, keeps only events stamped with that
+    distributed trace id (see docs/observability.md) — events without
+    a ``trace_id`` field are filtered out too, so the summary covers
+    exactly one request/campaign.  ``trace_ids`` in the returned dict
+    tallies every id seen before filtering, so a wrong ``--trace-id``
+    is diagnosable from the report itself.
+    """
     by_type = TallyCounter()
+    trace_ids = TallyCounter()
+    filtered_events = 0
     branches = {}
     flush_sources = TallyCounter()
     selection = {
@@ -47,6 +57,12 @@ def summarize_trace(path):
     # Torn-tail tolerant: a crash mid-write truncates the final line;
     # everything durably written before it still summarizes.
     for record in iter_records(path, strict=False, corrupt=corrupt):
+        record_trace = record.get("trace_id")
+        if record_trace:
+            trace_ids[record_trace] += 1
+        if trace_id is not None and record_trace != trace_id:
+            filtered_events += 1
+            continue
         total += 1
         kind = record.get("type", "unknown")
         by_type[kind] += 1
@@ -99,13 +115,15 @@ def summarize_trace(path):
             entry = spans.setdefault(
                 record.get("path", record.get("name", "")),
                 {"seconds": 0.0, "self_seconds": 0.0,
-                 "events": 0, "calls": 0},
+                 "events": 0, "calls": 0, "span_ids": []},
             )
             entry["seconds"] += record.get("seconds", 0.0)
             entry["self_seconds"] += record.get(
                 "self_seconds", record.get("seconds", 0.0))
             entry["events"] += record.get("events", 0)
             entry["calls"] += 1
+            if record.get("span_id"):
+                entry["span_ids"].append(record["span_id"])
 
     reconciliation = {
         "episode_starts": by_type.get("dpred.episode.start", 0),
@@ -128,6 +146,9 @@ def summarize_trace(path):
 
     return {
         "path": path,
+        "trace_id": trace_id,
+        "trace_ids": dict(sorted(trace_ids.items())),
+        "filtered_events": filtered_events,
         "total_events": total,
         "corrupt_lines": len(corrupt),
         "by_type": dict(sorted(by_type.items())),
@@ -147,6 +168,22 @@ def format_trace_report(summary, top=10):
         f"trace report: {summary['path']}",
         f"  events: {summary['total_events']}",
     ]
+    if summary.get("trace_id"):
+        lines.append(
+            f"  filtered to trace {summary['trace_id']} "
+            f"({summary.get('filtered_events', 0)} events from other "
+            f"traces skipped)"
+        )
+    elif summary.get("trace_ids"):
+        ids = summary["trace_ids"]
+        lines.append(
+            f"  distributed trace ids: {len(ids)} "
+            f"(--trace-id filters to one)"
+        )
+        for tid, count in sorted(
+            ids.items(), key=lambda kv: -kv[1]
+        )[:top]:
+            lines.append(f"    {tid}  {count} events")
     if summary.get("corrupt_lines"):
         lines.append(
             f"  WARNING: skipped {summary['corrupt_lines']} corrupt "
@@ -230,18 +267,29 @@ def format_trace_report(summary, top=10):
             spans.items(),
             key=lambda kv: (-kv[1]["self_seconds"], kv[0]),
         )[:top]
+        with_ids = any(e.get("span_ids") for _, e in ranked)
         lines.append("")
         lines.append(f"top {top} spans by self-time:")
         lines.append(
             "    path                          self-s    total-s"
             "   calls      events"
+            + ("  span-id" if with_ids else "")
         )
         for path, entry in ranked:
-            lines.append(
+            row = (
                 f"    {path:<28} {entry['self_seconds']:8.3f} "
                 f"{entry['seconds']:10.3f} {entry['calls']:>7} "
                 f"{entry['events']:>11}"
             )
+            if with_ids:
+                ids = entry.get("span_ids") or []
+                if len(ids) == 1:
+                    row += f"  {ids[0]}"
+                elif ids:
+                    row += f"  {ids[0]} +{len(ids) - 1}"
+                else:
+                    row += "  -"
+            lines.append(row)
 
     recon = summary["reconciliation"]
     lines.append("")

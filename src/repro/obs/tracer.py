@@ -15,6 +15,7 @@ log back as typed events / raw dicts.
 import json
 
 from repro.ioutil import ensure_parent
+from repro.obs import tracectx
 from repro.obs.events import from_record, to_record
 
 
@@ -51,6 +52,12 @@ class Tracer:
         record = to_record(event_obj)
         record["seq"] = self.seq
         self.seq += 1
+        ctx = tracectx.current()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+            span_id = ctx.current_span_id()
+            if span_id:
+                record["span_id"] = span_id
         self.sink.write(record)
 
     def close(self):

@@ -1,0 +1,82 @@
+"""Structured serve access log: one JSON line per request.
+
+Every request the daemon answers — ``/v1/*`` POSTs and the GET
+endpoints alike — produces one line::
+
+    {"ts": ..., "method": "POST", "path": "/v1/simulate",
+     "status": 200, "duration_ms": 12.3,
+     "trace_id": "4bf9...", "coalesced": false,
+     "leader_trace_id": null}
+
+so a coalesced follower is attributable to the leader whose
+computation answered it (``coalesced: true`` + the leader's trace id),
+and every line joins against ``python -m repro trace show`` output via
+``trace_id``.  The sink is stderr by default or ``--access-log FILE``;
+writes are line-atomic under a lock and flushed per record, and
+:func:`read_access_log` tolerates a torn final line exactly like the
+campaign journal reader (the daemon may be killed mid-write).
+"""
+
+import json
+import threading
+import time
+
+from repro.obs.tracer import iter_records
+
+
+class AccessLog:
+    """Thread-safe JSON-lines access log over a stream or file path."""
+
+    def __init__(self, target):
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns_handle = False
+            self.path = getattr(target, "name", None)
+        else:
+            from repro.ioutil import ensure_parent
+
+            ensure_parent(target)
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+            self.path = target
+
+    def log(self, method, path, status, duration_ms, trace_id=None,
+            coalesced=False, leader_trace_id=None):
+        """Append one access record; never raises into the handler."""
+        record = {
+            "ts": round(time.time(), 6),
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "trace_id": trace_id,
+            "coalesced": bool(coalesced),
+            "leader_trace_id": leader_trace_id,
+        }
+        line = json.dumps(record, sort_keys=False) + "\n"
+        try:
+            with self._lock:
+                self._handle.write(line)
+                self._handle.flush()
+        except (OSError, ValueError):  # pragma: no cover — closed sink
+            pass
+        return record
+
+    def close(self):
+        with self._lock:
+            if self._owns_handle:
+                try:
+                    self._handle.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+
+def read_access_log(path, corrupt=None):
+    """Access records from ``path``, skipping torn/malformed lines.
+
+    ``corrupt``, when a list, collects ``(line_number, message)`` pairs
+    for skipped lines — the same contract as
+    :func:`repro.obs.tracer.iter_records`.
+    """
+    return list(iter_records(path, strict=False, corrupt=corrupt))

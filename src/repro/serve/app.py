@@ -61,12 +61,13 @@ class RequestError(Exception):
 class _Call:
     """One in-flight computation other requests may wait on."""
 
-    __slots__ = ("event", "result", "error")
+    __slots__ = ("event", "result", "error", "meta")
 
     def __init__(self):
         self.event = threading.Event()
         self.result = None
         self.error = None
+        self.meta = None
 
 
 class SingleFlight:
@@ -75,25 +76,33 @@ class SingleFlight:
     :meth:`do` returns ``(result, coalesced)`` where ``coalesced`` is
     True for followers that waited on the leader's computation.  The
     leader's exception (if any) propagates to every waiter.
+
+    ``meta`` is an arbitrary leader-provided value (here: the leader's
+    trace identity) published on the call before followers are
+    released; a follower's ``on_coalesce`` callback receives it, so a
+    coalesced response can name the trace whose work answered it.
     """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._inflight = {}
 
-    def do(self, key, fn):
+    def do(self, key, fn, meta=None, on_coalesce=None):
         with self._lock:
             call = self._inflight.get(key)
             if call is not None:
                 leader = False
             else:
                 call = _Call()
+                call.meta = meta
                 self._inflight[key] = call
                 leader = True
         if not leader:
             call.event.wait()
             if call.error is not None:
                 raise call.error
+            if on_coalesce is not None:
+                on_coalesce(call.meta)
             return call.result, True
         try:
             call.result = fn()
@@ -134,14 +143,28 @@ def _normalize_common(body, endpoint, workload_key):
 
 
 class ServeApp:
-    """Warm-state request execution behind the HTTP daemon."""
+    """Warm-state request execution behind the HTTP daemon.
 
-    def __init__(self, registry=None):
+    ``trace_dir`` (optional) turns on distributed tracing: every
+    request gets a :class:`~repro.obs.tracectx.TraceContext` — joined
+    from the ``X-Repro-Trace-Id`` header when the client sent one,
+    freshly rooted otherwise — and its spans spool into ``trace_dir``
+    for ``GET /v1/trace/<id>`` and ``python -m repro trace show``.
+    With the default ``trace_dir=None`` the request path is exactly the
+    pre-tracing one (one ``None`` check per request), which is what
+    keeps the serve benchmark's tracing-disabled throughput flat.
+    """
+
+    def __init__(self, registry=None, trace_dir=None, access_log=None):
         from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracectx import SpanSpool
 
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.started = time.time()
+        self.trace_dir = trace_dir
+        self._spool = SpanSpool(trace_dir) if trace_dir else None
+        self.access = access_log
         self._flight = SingleFlight()
         #: Serializes computations: the warm caches underneath
         #: (AnalysisManager, runner LRUs) are not thread-safe.
@@ -149,14 +172,85 @@ class ServeApp:
 
     # -- endpoint table ------------------------------------------------
 
-    def handle(self, endpoint, body):
+    def handle(self, endpoint, body, traceparent=None):
         """Dispatch one ``/v1`` request; returns ``(status, bytes)``.
+
+        Thin compatibility wrapper over :meth:`handle_request` for
+        callers that do not care about per-request metadata.
+        """
+        status, response, _meta = self.handle_request(
+            endpoint, body, traceparent=traceparent
+        )
+        return status, response
+
+    def handle_request(self, endpoint, body, traceparent=None):
+        """Dispatch one ``/v1`` request with request metadata.
+
+        Returns ``(status, bytes, meta)`` where ``meta`` carries the
+        request's trace identity (``trace_id``/``traceparent`` for the
+        response header, ``None`` when tracing is off), its
+        ``duration_ms``, whether it was ``coalesced``, and — for a
+        coalesced follower — the ``leader`` trace identity whose
+        computation produced the bytes.
 
         ``body`` is the parsed JSON request object (it is consumed).
         Errors come back as ``(4xx/5xx, error-JSON bytes)`` — they are
         never coalesced, so a follower of a failing leader re-raises
         into its own error response.
         """
+        from repro.obs import tracectx
+
+        meta = {
+            "endpoint": endpoint,
+            "trace_id": None,
+            "traceparent": None,
+            "coalesced": False,
+            "leader": None,
+            "duration_ms": 0.0,
+            "status": 0,
+        }
+        ctx = self._request_context(traceparent)
+        started = time.monotonic()
+        with tracectx.activate(ctx):
+            if ctx is not None:
+                meta["trace_id"] = ctx.trace_id
+                from repro.obs.spans import SpanTree, span
+
+                # A throwaway per-request tree: the *global* span tree
+                # stack is not safe under concurrent request threads,
+                # and the cross-process trace hierarchy lives on the
+                # TraceContext, not the tree.  Metrics still land in
+                # the (thread-safe) shared registry.
+                with span(f"serve.{endpoint}", tree=SpanTree(),
+                          metrics=self.registry):
+                    meta["traceparent"] = ctx.traceparent()
+                    status, response = self._dispatch(
+                        endpoint, body, meta
+                    )
+            else:
+                status, response = self._dispatch(endpoint, body, meta)
+        meta["duration_ms"] = (time.monotonic() - started) * 1000.0
+        meta["status"] = status
+        return status, response, meta
+
+    def _request_context(self, traceparent):
+        """The request's trace context (None when tracing is off)."""
+        if self._spool is None:
+            return None
+        from repro.obs import tracectx
+
+        if traceparent:
+            try:
+                trace_id, parent = tracectx.parse_traceparent(traceparent)
+            except ValueError:
+                trace_id, parent = tracectx.new_trace_id(), None
+        else:
+            trace_id, parent = tracectx.new_trace_id(), None
+        return tracectx.TraceContext(
+            trace_id, parent, service="serve", spool=self._spool
+        )
+
+    def _dispatch(self, endpoint, body, meta):
         handlers = {
             "compile": self._compile,
             "simulate": self._simulate,
@@ -175,7 +269,7 @@ class ServeApp:
                 raise RequestError(
                     f"{endpoint}: request body must be a JSON object"
                 )
-            response, coalesced = handler(dict(body))
+            response, coalesced = handler(dict(body), meta)
         except RequestError as exc:
             self._count_error()
             return 400, _error_bytes(exc.message)
@@ -192,6 +286,7 @@ class ServeApp:
                 help=f"/v1/{endpoint} request latency",
             ).observe(time.monotonic() - started)
         if coalesced:
+            meta["coalesced"] = True
             self.registry.counter(
                 "serve_coalesced_total",
                 help="requests answered from a coalesced in-flight "
@@ -205,7 +300,7 @@ class ServeApp:
             help="requests that ended in an error response",
         ).inc()
 
-    def _run(self, op, params, engine, fn):
+    def _run(self, op, params, engine, fn, meta=None):
         """Single-flight ``fn`` under the warm-state lock.
 
         The key hashes the *normalized* request (op + params) with the
@@ -213,6 +308,11 @@ class ServeApp:
         stays out of the key because both engines are bit-identical.
         """
         key = content_hash({"op": op, "params": params})
+        return self._flight_do(key, engine, fn, meta)
+
+    def _flight_do(self, key, engine, fn, meta):
+        """Coalesced execution with leader trace attribution."""
+        from repro.obs import tracectx
 
         def compute():
             from repro.uarch.engine import engine_override
@@ -220,11 +320,25 @@ class ServeApp:
             with self._compute_lock, engine_override(engine):
                 return fn()
 
-        return self._flight.do(key, compute)
+        ctx = tracectx.current()
+        my_identity = None
+        if ctx is not None:
+            my_identity = {
+                "trace_id": ctx.trace_id,
+                "span_id": ctx.current_span_id(),
+            }
+
+        def on_coalesce(leader_identity):
+            if meta is not None:
+                meta["leader"] = leader_identity
+
+        return self._flight.do(
+            key, compute, meta=my_identity, on_coalesce=on_coalesce
+        )
 
     # -- /v1/compile ---------------------------------------------------
 
-    def _compile(self, body):
+    def _compile(self, body, meta=None):
         benchmark, input_set, scale = _normalize_common(
             body, "compile", "benchmark"
         )
@@ -244,11 +358,12 @@ class ServeApp:
             "compile", params, engine,
             lambda: _compile_bytes(benchmark, input_set, scale,
                                    config, pipeline),
+            meta=meta,
         )
 
     # -- /v1/simulate --------------------------------------------------
 
-    def _simulate(self, body):
+    def _simulate(self, body, meta=None):
         benchmark, input_set, scale = _normalize_common(
             body, "simulate", "benchmark"
         )
@@ -274,18 +389,13 @@ class ServeApp:
             "cell": DEFAULT_CELL,
         }
         key = content_hash(params)
-
-        def compute():
-            from repro.uarch.engine import engine_override
-
-            with self._compute_lock, engine_override(engine):
-                return _simulate_bytes(params, key)
-
-        return self._flight.do(key, compute)
+        return self._flight_do(
+            key, engine, lambda: _simulate_bytes(params, key), meta
+        )
 
     # -- /v1/explain ---------------------------------------------------
 
-    def _explain(self, body):
+    def _explain(self, body, meta=None):
         workload, input_set, scale = _normalize_common(
             body, "explain", "workload"
         )
@@ -301,6 +411,7 @@ class ServeApp:
             "explain", params, engine,
             lambda: _explain_bytes(workload, input_set, scale,
                                    config, pipeline),
+            meta=meta,
         )
 
     # -- GET endpoints -------------------------------------------------
@@ -327,6 +438,39 @@ class ServeApp:
     def metrics(self):
         """The registry as OpenMetrics text, ``(200, bytes)``."""
         return 200, self.registry.render_openmetrics().encode("utf-8")
+
+    def trace_timeline(self, trace_id):
+        """``GET /v1/trace/<id>``: the merged timeline as JSON bytes.
+
+        404 when tracing is off or the trace has no spans yet; the
+        payload is exactly ``python -m repro trace show <id> --json``
+        over the daemon's own spool directory (schema-pinned).
+        """
+        if self.trace_dir is None:
+            return 404, _error_bytes(
+                "tracing is disabled (start the daemon with tracing "
+                "enabled to use /v1/trace)"
+            )
+        from repro.obs.traceview import build_timeline
+
+        try:
+            data = build_timeline(self.trace_dir, trace_id)
+        except ValueError as exc:
+            return 404, _error_bytes(str(exc))
+        body = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        return 200, body.encode("utf-8")
+
+    def log_access(self, method, path, status, duration_ms, meta=None):
+        """One structured access-log line (no-op without a sink)."""
+        if self.access is None:
+            return None
+        leader = (meta or {}).get("leader") or {}
+        return self.access.log(
+            method, path, status, duration_ms,
+            trace_id=(meta or {}).get("trace_id"),
+            coalesced=bool((meta or {}).get("coalesced")),
+            leader_trace_id=leader.get("trace_id"),
+        )
 
 
 def _error_bytes(message):

@@ -19,8 +19,10 @@ import json
 import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.tracectx import TRACE_HEADER
 from repro.serve.app import ServeApp
 
 #: Default listen address.
@@ -69,6 +71,7 @@ class RequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):
         app = self.server.app
+        started = time.monotonic()
         if self.path == "/healthz":
             status, body = app.healthz()
             self._send(status, body)
@@ -81,27 +84,60 @@ class RequestHandler(BaseHTTPRequestHandler):
                     "charset=utf-8"
                 ),
             )
+        elif self.path.startswith("/v1/trace/"):
+            trace_id = self.path[len("/v1/trace/"):]
+            status, body = app.trace_timeline(trace_id)
+            self._send(status, body)
         else:
-            self._error(404, f"unknown path {self.path!r}")
+            status = 404
+            self._error(status, f"unknown path {self.path!r}")
+        app.log_access(
+            "GET", self.path, status,
+            (time.monotonic() - started) * 1000.0,
+        )
 
     def do_POST(self):
+        app = self.server.app
+        started = time.monotonic()
         if not self.path.startswith("/v1/"):
             self._error(404, f"unknown path {self.path!r}")
+            app.log_access(
+                "POST", self.path, 404,
+                (time.monotonic() - started) * 1000.0,
+            )
             return
         endpoint = self.path[len("/v1/"):]
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             self._error(400, "bad Content-Length")
+            app.log_access(
+                "POST", self.path, 400,
+                (time.monotonic() - started) * 1000.0,
+            )
             return
         raw = self.rfile.read(length) if length else b"{}"
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
             self._error(400, "request body is not valid JSON")
+            app.log_access(
+                "POST", self.path, 400,
+                (time.monotonic() - started) * 1000.0,
+            )
             return
-        status, response = self.server.app.handle(endpoint, body)
-        self._send(status, response)
+        status, response, meta = app.handle_request(
+            endpoint, body, traceparent=self.headers.get(TRACE_HEADER)
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(response)))
+        if meta.get("traceparent"):
+            self.send_header(TRACE_HEADER, meta["traceparent"])
+        self.end_headers()
+        self.wfile.write(response)
+        app.log_access("POST", self.path, status, meta["duration_ms"],
+                       meta=meta)
 
 
 def build_server(address, app=None, verbose=False):
@@ -157,6 +193,18 @@ def main(argv=None):
                         help="skip the persistent artifact cache")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="span spool directory for distributed "
+                             "tracing (default: a fresh temp dir, "
+                             "printed at startup)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="disable per-request tracing and "
+                             "/v1/trace")
+    parser.add_argument("--access-log", default=None, metavar="FILE",
+                        help="append structured access-log lines to "
+                             "FILE (default: stderr)")
+    parser.add_argument("--no-access-log", action="store_true",
+                        help="disable the structured access log")
     args = parser.parse_args(argv)
 
     if args.sim_engine is not None:
@@ -172,7 +220,22 @@ def main(argv=None):
 
         artifact_cache.set_disabled(True)
 
-    app = ServeApp()
+    trace_dir = None
+    if not args.no_trace:
+        trace_dir = args.trace_dir
+        if trace_dir is None:
+            import tempfile
+
+            trace_dir = tempfile.mkdtemp(prefix="repro-serve-trace-")
+    access_log = None
+    if not args.no_access_log:
+        from repro.serve.accesslog import AccessLog
+
+        access_log = AccessLog(
+            args.access_log if args.access_log else sys.stderr
+        )
+
+    app = ServeApp(trace_dir=trace_dir, access_log=access_log)
     try:
         server = build_server((args.host, args.port), app,
                               verbose=args.verbose)
@@ -205,7 +268,11 @@ def main(argv=None):
     # the bound port out of it (needed for --port 0).
     print(f"[serve] listening on http://{host}:{port} "
           f"(endpoints: /v1/compile /v1/simulate /v1/explain "
-          f"/healthz /metrics)", flush=True)
+          f"/v1/trace /healthz /metrics)", flush=True)
+    if trace_dir is not None:
+        print(f"[serve] tracing to {trace_dir} "
+              f"(python -m repro trace show <id> --dir {trace_dir})",
+              flush=True)
     from repro.obs.context import telemetry
 
     try:

@@ -133,3 +133,130 @@ class TestRegistry:
         assert registry.names() == ["a"]
         assert registry.get("a").kind == "counter"
         assert registry.get("b") is None
+
+
+class TestThreadSafety:
+    """Satellite: one lock around mutation and render."""
+
+    def test_concurrent_increments_are_not_lost(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+        start = threading.Barrier(threads_n)
+
+        def worker():
+            start.wait(timeout=5)
+            for _ in range(per_thread):
+                registry.counter("hits").inc()
+                registry.gauge("level").inc()
+                registry.histogram("lat", (0.5, 1.0)).observe(0.25)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        expected = threads_n * per_thread
+        assert registry.get("hits").value == expected
+        assert registry.get("level").value == expected
+        assert registry.get("lat").total == expected
+        assert registry.get("lat").counts[0] == expected
+
+    def test_render_during_concurrent_mutation(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def mutate():
+            while not stop.is_set():
+                registry.counter("spin").inc()
+                registry.histogram("h", (1.0,)).observe(0.5)
+
+        def render():
+            from repro.obs.metrics import parse_openmetrics
+
+            try:
+                while not stop.is_set():
+                    parse_openmetrics(registry.render_openmetrics())
+                    registry.as_dict()
+            except Exception as exc:  # noqa: BLE001 — test harness
+                errors.append(exc)
+
+        threads = [threading.Thread(target=mutate) for _ in range(4)]
+        threads += [threading.Thread(target=render) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time as _time
+
+        _time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+
+    def test_standalone_instruments_have_their_own_lock(self):
+        counter = Counter("lone")
+        gauge = Gauge("lone_g")
+        histogram = Histogram("lone_h", (1.0,))
+        counter.inc()
+        gauge.set(2)
+        histogram.observe(0.5)
+        assert counter.value == 1
+        assert gauge.value == 2
+        assert histogram.total == 1
+
+    def test_merge_snapshot_under_the_registry_lock(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        snapshot = registry.as_dict()
+        registry.merge_snapshot(snapshot)
+        assert registry.get("c").value == 4
+
+
+class TestOpenMetricsEdgeCases:
+    """Satellite: empty histograms, zero-sample quantiles, escaping."""
+
+    def test_empty_histogram_render_parse_round_trip(self):
+        from repro.obs.metrics import parse_openmetrics
+
+        registry = MetricsRegistry()
+        registry.histogram("empty_latency", (0.1, 1.0))
+        snapshot = parse_openmetrics(registry.render_openmetrics())
+        parsed = snapshot["empty_latency"]
+        assert parsed["kind"] == "histogram"
+        assert parsed["count"] == 0
+        assert parsed["sum"] == 0.0
+        assert all(c == 0 for c in parsed["buckets"].values())
+        other = MetricsRegistry()
+        other.merge_snapshot(snapshot)
+        assert other.get("empty_latency").total == 0
+
+    def test_quantile_on_zero_samples_is_none(self):
+        histogram = Histogram("h", (0.5, 1.0))
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.0) is None
+        assert histogram.quantile(1.0) is None
+
+    def test_help_escaping_keeps_the_format_line_oriented(self):
+        from repro.obs.metrics import escape_help
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky", help="line one\nline two \\ backslash").inc()
+        text = registry.render_openmetrics()
+        assert "line one\\nline two \\\\ backslash" in text
+        assert all(
+            line.startswith(("#", "tricky"))
+            for line in text.splitlines() if "tricky" in line
+        )
+        assert escape_help("a\nb\\c") == "a\\nb\\\\c"
+
+    def test_label_value_escaping(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"\n\\') \
+            == 'say \\"hi\\"\\n\\\\'

@@ -460,3 +460,232 @@ class TestCacheInfoCLI:
         out = capsys.readouterr().out
         assert "4,096 bytes (4.0 KiB)" in out
         assert "artifact: 1 entries, 4.0 KiB" in out
+
+
+class TestServeTracing:
+    """Tentpole: per-request distributed tracing in the daemon."""
+
+    @pytest.fixture
+    def traced_app(self, tmp_path):
+        application = ServeApp(trace_dir=str(tmp_path / "trace"))
+        with telemetry(metrics=application.registry):
+            yield application
+
+    def test_meta_carries_a_fresh_trace_identity(self, traced_app):
+        from repro.obs.tracectx import parse_traceparent
+
+        status, _body, meta = traced_app.handle_request(
+            "simulate", {"benchmark": BENCH, "scale": SCALE})
+        assert status == 200
+        assert meta["trace_id"] and len(meta["trace_id"]) == 32
+        trace_id, span_id = parse_traceparent(meta["traceparent"])
+        assert trace_id == meta["trace_id"]
+        assert span_id is not None
+
+    def test_request_yields_one_parented_timeline(self, traced_app):
+        from repro.obs import traceview
+
+        status, _body, meta = traced_app.handle_request(
+            "simulate", {"benchmark": BENCH, "scale": SCALE})
+        assert status == 200
+        data = traceview.build_timeline(
+            traced_app.trace_dir, meta["trace_id"])
+        assert data["orphans"] == []
+        assert len(data["roots"]) == 1
+        names = {span["name"] for span in data["spans"]}
+        assert "serve.simulate" in names
+        assert traceview.validate_timeline(data) == []
+        # per-span self time sums back to the request wall time
+        total_self = sum(
+            span["derived_self_seconds"] for span in data["spans"])
+        assert total_self == pytest.approx(
+            data["root_seconds"], rel=0.05, abs=0.005)
+
+    def test_client_trace_id_is_joined(self, traced_app):
+        from repro.obs.tracectx import format_traceparent, new_trace_id
+
+        trace_id = new_trace_id()
+        header = format_traceparent(trace_id, "0" * 16)
+        status, _body, meta = traced_app.handle_request(
+            "compile", {"benchmark": BENCH, "scale": SCALE},
+            traceparent=header)
+        assert status == 200
+        assert meta["trace_id"] == trace_id
+
+    def test_malformed_traceparent_roots_a_fresh_trace(self,
+                                                       traced_app):
+        status, _body, meta = traced_app.handle_request(
+            "compile", {"benchmark": BENCH, "scale": SCALE},
+            traceparent="garbage")
+        assert status == 200
+        assert meta["trace_id"] and meta["trace_id"] != "garbage"
+
+    def test_trace_endpoint_returns_schema_valid_json(self,
+                                                      traced_app):
+        from repro.obs import traceview
+
+        _status, _body, meta = traced_app.handle_request(
+            "simulate", {"benchmark": BENCH, "scale": SCALE})
+        status, body = traced_app.trace_timeline(meta["trace_id"])
+        assert status == 200
+        data = json.loads(body)
+        assert traceview.validate_timeline(data) == []
+        assert data["trace_id"] == meta["trace_id"]
+
+    def test_trace_endpoint_unknown_id_is_404(self, traced_app):
+        status, body = traced_app.trace_timeline("f" * 32)
+        assert status == 404
+        assert b"error" in body
+
+    def test_trace_endpoint_404_when_tracing_off(self, app):
+        status, _body = app.trace_timeline("f" * 32)
+        assert status == 404
+
+    def test_tracing_off_meta_has_no_identity(self, app):
+        status, _body, meta = app.handle_request(
+            "compile", {"benchmark": BENCH, "scale": SCALE})
+        assert status == 200
+        assert meta["trace_id"] is None
+        assert meta["traceparent"] is None
+
+    def test_traced_bytes_match_untraced(self, app, traced_app):
+        body = {"benchmark": BENCH, "scale": SCALE}
+        plain = app.handle("compile", dict(body))
+        traced = traced_app.handle("compile", dict(body))
+        assert plain == traced
+
+    def test_coalesced_follower_records_the_leader(self, traced_app,
+                                                   monkeypatch):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_simulate(params, cell_id):
+            entered.set()
+            release.wait(timeout=5)
+            return b"{}\n"
+
+        monkeypatch.setattr(
+            "repro.serve.app._simulate_bytes", slow_simulate
+        )
+        body = {"benchmark": BENCH, "scale": SCALE}
+        metas = []
+
+        def request():
+            _s, _b, meta = traced_app.handle_request(
+                "simulate", dict(body))
+            metas.append(meta)
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        entered.wait(timeout=5)
+        follower = threading.Thread(target=request)
+        follower.start()
+        time.sleep(0.05)
+        release.set()
+        leader.join(timeout=5)
+        follower.join(timeout=5)
+        by_role = {meta["coalesced"]: meta for meta in metas}
+        assert set(by_role) == {True, False}
+        leader_meta, follower_meta = by_role[False], by_role[True]
+        assert follower_meta["leader"]["trace_id"] \
+            == leader_meta["trace_id"]
+        assert follower_meta["leader"]["span_id"]
+
+    def test_http_response_echoes_the_trace_header(self, tmp_path):
+        from repro.obs.tracectx import TRACE_HEADER
+
+        application = ServeApp(trace_dir=str(tmp_path / "trace"))
+        srv = build_server(("127.0.0.1", 0), application)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            host, port = srv.server_address[:2]
+            request = urllib.request.Request(
+                f"http://{host}:{port}/v1/compile",
+                data=json.dumps({"benchmark": BENCH,
+                                 "scale": SCALE}).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with telemetry(metrics=application.registry):
+                with urllib.request.urlopen(request) as response:
+                    assert response.status == 200
+                    header = response.headers.get(TRACE_HEADER)
+            assert header
+            trace_id = header.split("-")[1]
+            status, body = application.trace_timeline(trace_id)
+            assert status == 200
+            data = json.loads(body)
+            assert data["orphans"] == []
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+
+class TestAccessLog:
+    """Satellite: one structured line per request."""
+
+    def test_log_writes_one_json_line_per_request(self, tmp_path):
+        from repro.serve.accesslog import AccessLog, read_access_log
+
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(path)
+        log.log("POST", "/v1/simulate", 200, 12.5,
+                trace_id="a" * 32)
+        log.log("GET", "/healthz", 200, 0.2)
+        log.close()
+        records = read_access_log(path)
+        assert len(records) == 2
+        first = records[0]
+        assert first["method"] == "POST"
+        assert first["path"] == "/v1/simulate"
+        assert first["status"] == 200
+        assert first["duration_ms"] == 12.5
+        assert first["trace_id"] == "a" * 32
+        assert first["coalesced"] is False
+        assert records[1]["trace_id"] is None
+
+    def test_reader_tolerates_a_torn_tail(self, tmp_path):
+        from repro.serve.accesslog import AccessLog, read_access_log
+
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(path)
+        log.log("GET", "/metrics", 200, 0.1)
+        log.close()
+        with open(path, "a") as handle:
+            handle.write('{"ts": 123, "met')
+        corrupt = []
+        records = read_access_log(path, corrupt=corrupt)
+        assert len(records) == 1
+        assert len(corrupt) == 1
+
+    def test_app_log_access_extracts_the_leader(self, tmp_path):
+        from repro.serve.accesslog import AccessLog, read_access_log
+
+        path = str(tmp_path / "access.jsonl")
+        application = ServeApp(access_log=AccessLog(path))
+        application.log_access("POST", "/v1/simulate", 200, 3.0, meta={
+            "trace_id": "b" * 32, "coalesced": True,
+            "leader": {"trace_id": "c" * 32, "span_id": "d" * 16},
+        })
+        application.access.close()
+        record = read_access_log(path)[0]
+        assert record["trace_id"] == "b" * 32
+        assert record["coalesced"] is True
+        assert record["leader_trace_id"] == "c" * 32
+
+    def test_no_sink_is_a_noop(self, app):
+        assert app.log_access("GET", "/healthz", 200, 0.1) is None
+
+    def test_stream_sink_is_not_closed(self):
+        from repro.serve.accesslog import AccessLog
+
+        stream = io.StringIO()
+        log = AccessLog(stream)
+        log.log("GET", "/healthz", 200, 0.1)
+        log.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["path"] == "/healthz"
